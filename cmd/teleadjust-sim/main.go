@@ -1,0 +1,159 @@
+// Command teleadjust-sim runs a single TeleAdjusting simulation scenario
+// and prints its metrics: either a coding study (path-code length,
+// convergence, reverse hops) or a control study (PDR, latency, duty cycle,
+// transmission counts) for one protocol.
+//
+// Examples:
+//
+//	teleadjust-sim -scenario indoor -study control -proto tele -packets 40
+//	teleadjust-sim -scenario tight -study coding -dur 8m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"teleadjust/internal/experiment"
+	"teleadjust/internal/radio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "teleadjust-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario = flag.String("scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi")
+		study    = flag.String("study", "control", "study: coding, control, scope")
+		proto    = flag.String("proto", "tele", "protocol: tele, retele, strict, drip, rpl")
+		dur      = flag.Duration("dur", 8*time.Minute, "coding study duration")
+		warmup   = flag.Duration("warmup", 4*time.Minute, "control study warmup")
+		packets  = flag.Int("packets", 40, "control packets to send")
+		interval = flag.Duration("interval", 15*time.Second, "inter-packet interval")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		trace    = flag.Int("trace", 0, "dump the last N medium events (tx/rx) after the run")
+		svgPath  = flag.String("svg", "", "write the converged topology/tree/codes as SVG to this file")
+	)
+	flag.Parse()
+
+	scn, err := pickScenario(*scenario, *seed)
+	if err != nil {
+		return err
+	}
+	var ring *radio.TraceRing
+	var builtNet *experiment.Net
+	prevHook := scn.OnNetBuilt
+	scn.OnNetBuilt = func(net *experiment.Net) {
+		builtNet = net
+		if prevHook != nil {
+			prevHook(net)
+		}
+		if *trace > 0 {
+			ring = radio.NewTraceRing(*trace)
+			net.Medium.SetTraceFn(ring.Record)
+		}
+	}
+	if *trace > 0 {
+		defer func() {
+			if ring == nil {
+				return
+			}
+			fmt.Printf("\n--- last %d medium events ---\n", *trace)
+			_ = ring.Dump(os.Stdout)
+		}()
+	}
+	if *svgPath != "" {
+		defer func() {
+			if builtNet == nil {
+				return
+			}
+			f, err := os.Create(*svgPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "svg:", err)
+				return
+			}
+			defer f.Close()
+			if err := builtNet.WriteTopologySVG(f); err != nil {
+				fmt.Fprintln(os.Stderr, "svg:", err)
+				return
+			}
+			fmt.Printf("topology SVG written to %s\n", *svgPath)
+		}()
+	}
+	switch *study {
+	case "coding":
+		res, err := experiment.RunCodingStudy(scn, *dur)
+		if err != nil {
+			return err
+		}
+		printCoding(res)
+	case "control":
+		p, err := pickProto(*proto)
+		if err != nil {
+			return err
+		}
+		opts := experiment.DefaultControlOpts()
+		opts.Warmup = *warmup
+		opts.Packets = *packets
+		opts.Interval = *interval
+		res, err := experiment.RunControlStudy(scn, p, opts)
+		if err != nil {
+			return err
+		}
+		printControl(res)
+	case "scope":
+		opts := experiment.DefaultScopeOpts()
+		opts.Warmup = *warmup
+		res, err := experiment.RunScopeStudy(scn, opts)
+		if err != nil {
+			return err
+		}
+		experiment.WriteScopeReport(os.Stdout, res)
+	default:
+		return fmt.Errorf("unknown study %q", *study)
+	}
+	return nil
+}
+
+func pickScenario(name string, seed uint64) (experiment.Scenario, error) {
+	switch name {
+	case "tight":
+		return experiment.TightGrid(seed), nil
+	case "sparse":
+		return experiment.SparseLinear(seed), nil
+	case "indoor":
+		return experiment.Indoor(seed, false), nil
+	case "indoor-wifi":
+		return experiment.Indoor(seed, true), nil
+	}
+	return experiment.Scenario{}, fmt.Errorf("unknown scenario %q", name)
+}
+
+func pickProto(name string) (experiment.Proto, error) {
+	switch name {
+	case "tele":
+		return experiment.ProtoTele, nil
+	case "retele":
+		return experiment.ProtoReTele, nil
+	case "strict":
+		return experiment.ProtoTeleStrict, nil
+	case "drip":
+		return experiment.ProtoDrip, nil
+	case "rpl":
+		return experiment.ProtoRPL, nil
+	}
+	return 0, fmt.Errorf("unknown protocol %q", name)
+}
+
+func printCoding(res *experiment.CodingResult) {
+	experiment.WriteCodingReport(os.Stdout, res)
+}
+
+func printControl(res *experiment.ControlResult) {
+	experiment.WriteControlReport(os.Stdout, res)
+}

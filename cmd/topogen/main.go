@@ -1,0 +1,152 @@
+// Command topogen emits the evaluation deployments as text for inspection
+// and external plotting: node positions, the computed link gains, and the
+// expected PRR adjacency at a chosen transmit power.
+//
+//	topogen -topology indoor -seed 1 -links
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"teleadjust/internal/experiment"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name    = flag.String("topology", "indoor", "topology: tight, sparse, indoor, indoor-wifi")
+		seed    = flag.Uint64("seed", 1, "placement seed")
+		links   = flag.Bool("links", false, "also print the PRR adjacency (links with PRR ≥ 0.1)")
+		minPRR  = flag.Float64("min-prr", 0.1, "PRR threshold for -links")
+		degrees = flag.Bool("degrees", false, "print per-node degree summary")
+		hops    = flag.Bool("hops", false, "print BFS hop distribution from the sink over good links")
+	)
+	flag.Parse()
+
+	var scn experiment.Scenario
+	switch *name {
+	case "tight":
+		scn = experiment.TightGrid(*seed)
+	case "sparse":
+		scn = experiment.SparseLinear(*seed)
+	case "indoor":
+		scn = experiment.Indoor(*seed, false)
+	case "indoor-wifi":
+		scn = experiment.Indoor(*seed, true)
+	default:
+		return fmt.Errorf("unknown topology %q", *name)
+	}
+
+	dep := scn.Dep
+	fmt.Printf("# topology %s seed %d: %d nodes, sink %d\n", dep.Name, *seed, dep.Len(), dep.Sink)
+	minX, minY, maxX, maxY := dep.Bounds()
+	fmt.Printf("# bounds: (%.1f, %.1f) .. (%.1f, %.1f) m\n", minX, minY, maxX, maxY)
+	fmt.Println("# id\tx\ty")
+	for i, p := range dep.Positions {
+		fmt.Printf("%d\t%.2f\t%.2f\n", i, p.X, p.Y)
+	}
+	if !*links && !*degrees && !*hops {
+		return nil
+	}
+
+	eng := sim.NewEngine()
+	med, err := radio.NewMedium(eng, dep, nil, scn.Radio, *seed)
+	if err != nil {
+		return err
+	}
+	power := scn.Mac.TxPowerDBm
+	if *links {
+		fmt.Println("# links: from\tto\tprr")
+		for i := 0; i < dep.Len(); i++ {
+			for j := 0; j < dep.Len(); j++ {
+				if i == j {
+					continue
+				}
+				prr := med.ExpectedPRR(radio.NodeID(i), radio.NodeID(j), power, 32)
+				if prr >= *minPRR {
+					fmt.Printf("%d\t%d\t%.3f\n", i, j, prr)
+				}
+			}
+		}
+	}
+	if *hops {
+		printHopDistribution(med, dep.Sink, dep.Len(), power)
+	}
+	if *degrees {
+		fmt.Println("# degrees: id\tout-degree")
+		for i := 0; i < dep.Len(); i++ {
+			deg := 0
+			for j := 0; j < dep.Len(); j++ {
+				if i == j {
+					continue
+				}
+				if med.ExpectedPRR(radio.NodeID(i), radio.NodeID(j), power, 32) >= *minPRR {
+					deg++
+				}
+			}
+			fmt.Printf("%d\t%d\n", i, deg)
+		}
+	}
+	return nil
+}
+
+// printHopDistribution runs BFS from the sink over links with PRR ≥ 0.5
+// in both directions — a quick static estimate of the network diameter
+// used to calibrate the scenarios.
+func printHopDistribution(med *radio.Medium, sink, n int, power float64) {
+	const goodPRR = 0.5
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[sink] = 0
+	queue := []int{sink}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for j := 0; j < n; j++ {
+			if dist[j] >= 0 || j == cur {
+				continue
+			}
+			up := med.ExpectedPRR(radio.NodeID(j), radio.NodeID(cur), power, 32)
+			down := med.ExpectedPRR(radio.NodeID(cur), radio.NodeID(j), power, 32)
+			if up >= goodPRR && down >= goodPRR {
+				dist[j] = dist[cur] + 1
+				queue = append(queue, j)
+			}
+		}
+	}
+	hist := map[int]int{}
+	unreachable := 0
+	maxHop := 0
+	for i, d := range dist {
+		if i == sink {
+			continue
+		}
+		if d < 0 {
+			unreachable++
+			continue
+		}
+		hist[d]++
+		if d > maxHop {
+			maxHop = d
+		}
+	}
+	fmt.Println("# BFS hop distribution (bidirectional PRR ≥ 0.5):")
+	for h := 1; h <= maxHop; h++ {
+		fmt.Printf("# hop %d: %d nodes\n", h, hist[h])
+	}
+	if unreachable > 0 {
+		fmt.Printf("# unreachable: %d nodes\n", unreachable)
+	}
+}

@@ -1,0 +1,26 @@
+// Package teleadjust is a from-scratch Go reproduction of "TeleAdjusting:
+// Using Path Coding and Opportunistic Forwarding for Remote Control in
+// WSNs" (Liu et al., ICDCS 2015): a prefix-code addressing scheme built on
+// the collection tree plus an opportunistic downward forwarding protocol
+// that delivers control packets from the sink to any individual node.
+//
+// The repository contains the complete system the paper describes and
+// everything it depends on:
+//
+//   - internal/core — the contribution: path coding (Algorithms 1–3),
+//     prefix-match opportunistic forwarding, backtracking, and the
+//     destination-unreachable rescue path;
+//   - internal/{sim,radio,mac,noise,topology} — a discrete-event wireless
+//     network simulator standing in for TOSSIM and the TelosB testbed:
+//     CC2420-like PHY, CPM noise, low-power-listening MAC;
+//   - internal/{ctp,linkest,trickle} — the Collection Tree Protocol
+//     substrate;
+//   - internal/{drip,rpl} — the paper's two baselines;
+//   - internal/experiment — scenario builders and runners regenerating
+//     every table and figure of the evaluation.
+//
+// The root-level benchmarks (bench_test.go) regenerate each table and
+// figure; cmd/teleadjust-bench prints them as text reports. See DESIGN.md
+// for the system inventory and EXPERIMENTS.md for paper-versus-measured
+// results.
+package teleadjust

@@ -1,0 +1,3 @@
+module teleadjust
+
+go 1.22

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"teleadjust/internal/sim"
+)
+
+func benchCodes(n int) []PathCode {
+	rng := sim.NewRNG(1)
+	codes := make([]PathCode, 0, n)
+	c := RootCode()
+	for len(codes) < n {
+		next, err := c.Extend(uint16(1+rng.IntN(3)), 2)
+		if err != nil {
+			c = RootCode()
+			continue
+		}
+		c = next
+		codes = append(codes, c)
+	}
+	return codes
+}
+
+func BenchmarkIsPrefixOf(b *testing.B) {
+	codes := benchCodes(64)
+	deep := codes[len(codes)-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codes[i%len(codes)].IsPrefixOf(deep)
+	}
+}
+
+func BenchmarkExtend(b *testing.B) {
+	c := RootCode()
+	for i := 0; i < b.N; i++ {
+		next, err := c.Extend(1, 2)
+		if err != nil {
+			c = RootCode()
+			continue
+		}
+		c = next
+		if c.Len() > 200 {
+			c = RootCode()
+		}
+	}
+}
+
+func BenchmarkMarshalControl(b *testing.B) {
+	c := &Control{UID: 1, Op: 1, Dst: 9, DstCode: MustCode("001010110010101"), Expected: 3, Hops: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MarshalControl(c)
+	}
+}
+
+func BenchmarkUnmarshalControl(b *testing.B) {
+	buf := MarshalControl(&Control{UID: 1, Op: 1, Dst: 9, DstCode: MustCode("001010110010101")})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalControl(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

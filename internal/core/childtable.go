@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"teleadjust/internal/radio"
+)
+
+// ChildEntry is one row of the child node table (Table I in the paper):
+// the child's identity, its allocated position in the parent's bit space,
+// and whether the child has confirmed the allocation.
+type ChildEntry struct {
+	Child     radio.NodeID
+	Position  uint16
+	Confirmed bool
+}
+
+// ReservePolicy computes how many positions to provision for n discovered
+// children (Algorithm 1's χ). The paper writes χ = N + [10, N/2]; the
+// worked example (Figure 2: two children in a 2-bit space) pins the
+// reserve to min(10, ceil(N/2)) with a floor of 1.
+type ReservePolicy func(n int) int
+
+// DefaultReserve is the paper-consistent reserve: clamp(ceil(N/2), 1, 10).
+func DefaultReserve(n int) int {
+	r := (n + 1) / 2
+	if r < 1 {
+		r = 1
+	}
+	if r > 10 {
+		r = 10
+	}
+	return n + r
+}
+
+// GenerousReserve always provisions ten extra positions (the literal
+// "N + 10" reading of Algorithm 1); used by the reserve-policy ablation.
+func GenerousReserve(n int) int { return n + 10 }
+
+// TightReserve provisions no headroom at all; used by the ablation to show
+// the cost of frequent space extensions.
+func TightReserve(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// ChildTable is a parent node's position-allocation state. Positions are
+// 1-based: the all-zeros pattern is never allocated (Figure 2 allocates 01
+// and 10 from a 2-bit space), so a parent's own code is never confusable
+// with a child pattern.
+type ChildTable struct {
+	entries   map[radio.NodeID]*ChildEntry
+	pending   map[radio.NodeID]bool // discovered but not yet allocated
+	spaceBits int                   // π; 0 until initial allocation
+	reserve   ReservePolicy
+}
+
+// NewChildTable creates an empty table with the given reserve policy (nil
+// means DefaultReserve).
+func NewChildTable(policy ReservePolicy) *ChildTable {
+	if policy == nil {
+		policy = DefaultReserve
+	}
+	return &ChildTable{
+		entries: make(map[radio.NodeID]*ChildEntry),
+		pending: make(map[radio.NodeID]bool),
+		reserve: policy,
+	}
+}
+
+// Observe records a discovered child before initial allocation. It reports
+// whether the child is new.
+func (t *ChildTable) Observe(child radio.NodeID) bool {
+	if _, ok := t.entries[child]; ok {
+		return false
+	}
+	if t.pending[child] {
+		return false
+	}
+	t.pending[child] = true
+	return true
+}
+
+// Allocated reports whether initial allocation has run.
+func (t *ChildTable) Allocated() bool { return t.spaceBits > 0 }
+
+// SpaceBits returns π, the current bit-space width (0 before allocation).
+func (t *ChildTable) SpaceBits() int { return t.spaceBits }
+
+// Len returns the number of allocated children.
+func (t *ChildTable) Len() int { return len(t.entries) }
+
+// PendingLen returns the number of discovered-but-unallocated children.
+func (t *ChildTable) PendingLen() int { return len(t.pending) }
+
+// AllocateInitial runs Algorithm 1: size the bit space for the discovered
+// children plus reserve, then deterministically allocate positions in
+// ascending child-id order. It is an error to call it twice.
+func (t *ChildTable) AllocateInitial() error {
+	if t.Allocated() {
+		return fmt.Errorf("core: initial allocation already done")
+	}
+	n := len(t.pending)
+	chi := t.reserve(n)
+	if chi < n {
+		// Every discovered child gets a position regardless of what the
+		// reserve policy says; the space must fit them all.
+		chi = n
+	}
+	if chi < 1 {
+		chi = 1
+	}
+	// Positions are 1..2^π−1: find the smallest π that fits χ positions.
+	pi := 1
+	for (1<<pi)-1 < chi {
+		pi++
+	}
+	t.spaceBits = pi
+	ids := make([]radio.NodeID, 0, n)
+	for id := range t.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for i, id := range ids {
+		t.entries[id] = &ChildEntry{Child: id, Position: uint16(i + 1)}
+		delete(t.pending, id)
+	}
+	return nil
+}
+
+// nextFree returns the lowest unallocated position, or 0 when full.
+func (t *ChildTable) nextFree() uint16 {
+	used := make(map[uint16]bool, len(t.entries))
+	for _, e := range t.entries {
+		used[e.Position] = true
+	}
+	for p := uint16(1); int(p) < 1<<t.spaceBits; p++ {
+		if !used[p] {
+			return p
+		}
+	}
+	return 0
+}
+
+// Request handles a position request from a child (Algorithm 2, the
+// ID ∉ S branch): allocate a free position, extending the space by one bit
+// when full. It reports the allocated position and whether the space was
+// extended. The entry starts unconfirmed. Requests from known children
+// return their existing position.
+func (t *ChildTable) Request(child radio.NodeID) (pos uint16, extended bool, err error) {
+	if !t.Allocated() {
+		return 0, false, fmt.Errorf("core: request before initial allocation")
+	}
+	if e, ok := t.entries[child]; ok {
+		return e.Position, false, nil
+	}
+	p := t.nextFree()
+	if p == 0 {
+		// Space extension: widen by one bit; existing positions are
+		// unchanged (children re-encode them with the wider width).
+		t.spaceBits++
+		extended = true
+		p = t.nextFree()
+		if p == 0 {
+			return 0, extended, fmt.Errorf("core: no free position after extension")
+		}
+	}
+	delete(t.pending, child)
+	t.entries[child] = &ChildEntry{Child: child, Position: p}
+	return p, extended, nil
+}
+
+// ConfirmOutcome describes the result of processing a child's announced
+// position (Algorithm 2's maintenance branches).
+type ConfirmOutcome uint8
+
+// Confirm outcomes.
+const (
+	// ConfirmMatched: the announced position matches; flag set confirmed.
+	ConfirmMatched ConfirmOutcome = iota + 1
+	// ConfirmReallocated: mismatch; the child was given a fresh position
+	// (returned by Confirm) and the flag reset.
+	ConfirmReallocated
+	// ConfirmNew: unknown child; a position was allocated.
+	ConfirmNew
+)
+
+// Confirm processes a child's beacon announcing position p (Algorithm 2).
+// For ConfirmReallocated/ConfirmNew, newPos is the allocation to
+// acknowledge back; extended reports a space extension.
+func (t *ChildTable) Confirm(child radio.NodeID, p uint16) (out ConfirmOutcome, newPos uint16, extended bool, err error) {
+	if !t.Allocated() {
+		return 0, 0, false, fmt.Errorf("core: confirm before initial allocation")
+	}
+	e, ok := t.entries[child]
+	if !ok {
+		newPos, extended, err = t.Request(child)
+		return ConfirmNew, newPos, extended, err
+	}
+	if e.Position == p {
+		e.Confirmed = true
+		return ConfirmMatched, p, false, nil
+	}
+	// Mismatch: deterministically reallocate (keep the stored position —
+	// the table is authoritative) and reset the flag so the child re-acks.
+	e.Confirmed = false
+	return ConfirmReallocated, e.Position, false, nil
+}
+
+// SetConfirmed marks a child's entry confirmed (confirmation frame).
+func (t *ChildTable) SetConfirmed(child radio.NodeID, p uint16) bool {
+	e, ok := t.entries[child]
+	if !ok || e.Position != p {
+		return false
+	}
+	e.Confirmed = true
+	return true
+}
+
+// Remove drops a child (e.g. it switched parents).
+func (t *ChildTable) Remove(child radio.NodeID) {
+	delete(t.entries, child)
+	delete(t.pending, child)
+}
+
+// Position returns the child's allocated position (0 if none).
+func (t *ChildTable) Position(child radio.NodeID) uint16 {
+	if e, ok := t.entries[child]; ok {
+		return e.Position
+	}
+	return 0
+}
+
+// Entries returns allocated entries sorted by child id (a stable view for
+// beacon piggybacking).
+func (t *ChildTable) Entries() []ChildEntry {
+	out := make([]ChildEntry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Child < out[j].Child })
+	return out
+}
+
+// AllConfirmed reports whether every allocated child has confirmed.
+func (t *ChildTable) AllConfirmed() bool {
+	for _, e := range t.entries {
+		if !e.Confirmed {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"teleadjust/internal/radio"
+)
+
+func TestReservePolicies(t *testing.T) {
+	tests := []struct {
+		n, wantDefault int
+	}{
+		{0, 1}, // floor reserve 1
+		{1, 2}, // 1 + 1
+		{2, 3}, // 2 + 1 — Figure 2: fits in a 2-bit space
+		{4, 6}, // 4 + 2
+		{10, 15},
+		{30, 40}, // reserve capped at 10
+	}
+	for _, tt := range tests {
+		if got := DefaultReserve(tt.n); got != tt.wantDefault {
+			t.Errorf("DefaultReserve(%d) = %d, want %d", tt.n, got, tt.wantDefault)
+		}
+	}
+	if GenerousReserve(5) != 15 {
+		t.Fatal("GenerousReserve broken")
+	}
+	if TightReserve(5) != 5 || TightReserve(0) != 1 {
+		t.Fatal("TightReserve broken")
+	}
+}
+
+func TestInitialAllocationMatchesFigure2(t *testing.T) {
+	// Two discovered children → χ=3 → 2-bit space, positions 1 and 2.
+	ct := NewChildTable(nil)
+	ct.Observe(5)
+	ct.Observe(3)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.SpaceBits() != 2 {
+		t.Fatalf("space = %d bits, want 2 (Figure 2)", ct.SpaceBits())
+	}
+	// Deterministic: ascending id order.
+	if ct.Position(3) != 1 || ct.Position(5) != 2 {
+		t.Fatalf("positions: 3→%d 5→%d, want 1,2", ct.Position(3), ct.Position(5))
+	}
+}
+
+func TestAllocateTwiceErrors(t *testing.T) {
+	ct := NewChildTable(nil)
+	ct.Observe(1)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.AllocateInitial(); err == nil {
+		t.Fatal("double allocation accepted")
+	}
+}
+
+func TestObserveDedup(t *testing.T) {
+	ct := NewChildTable(nil)
+	if !ct.Observe(1) {
+		t.Fatal("first observe not new")
+	}
+	if ct.Observe(1) {
+		t.Fatal("second observe reported new")
+	}
+	if ct.PendingLen() != 1 {
+		t.Fatalf("pending = %d", ct.PendingLen())
+	}
+}
+
+func TestRequestAllocatesFreePositions(t *testing.T) {
+	ct := NewChildTable(nil)
+	ct.Observe(1)
+	ct.Observe(2)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	pos, ext, err := ct.Request(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext {
+		t.Fatal("extension with free position available")
+	}
+	if pos != 3 {
+		t.Fatalf("pos = %d, want 3 (lowest free)", pos)
+	}
+	// Requesting again returns the same position.
+	again, _, err := ct.Request(9)
+	if err != nil || again != pos {
+		t.Fatalf("repeat request = %d,%v", again, err)
+	}
+}
+
+func TestSpaceExtension(t *testing.T) {
+	ct := NewChildTable(TightReserve)
+	ct.Observe(1)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	// Tight reserve with 1 child → 1-bit space, 1 position. Second child
+	// forces extension.
+	if ct.SpaceBits() != 1 {
+		t.Fatalf("space = %d, want 1", ct.SpaceBits())
+	}
+	pos1 := ct.Position(1)
+	pos, ext, err := ct.Request(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext {
+		t.Fatal("no extension when space full")
+	}
+	if ct.SpaceBits() != 2 {
+		t.Fatalf("space after extension = %d, want 2", ct.SpaceBits())
+	}
+	if ct.Position(1) != pos1 {
+		t.Fatal("existing position changed by extension")
+	}
+	if pos == pos1 || pos == 0 {
+		t.Fatalf("extension allocated bad position %d", pos)
+	}
+}
+
+func TestConfirmBranches(t *testing.T) {
+	ct := NewChildTable(nil)
+	ct.Observe(1)
+	ct.Observe(2)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	// Match branch.
+	out, pos, _, err := ct.Confirm(1, ct.Position(1))
+	if err != nil || out != ConfirmMatched {
+		t.Fatalf("match: %v %v", out, err)
+	}
+	_ = pos
+	if !ct.entries[1].Confirmed {
+		t.Fatal("flag not set on match")
+	}
+	// Mismatch branch.
+	out, pos, _, err = ct.Confirm(2, 9)
+	if err != nil || out != ConfirmReallocated {
+		t.Fatalf("mismatch: %v %v", out, err)
+	}
+	if pos != ct.Position(2) {
+		t.Fatal("reallocated position not authoritative")
+	}
+	if ct.entries[2].Confirmed {
+		t.Fatal("flag not reset on mismatch")
+	}
+	// Unknown child branch.
+	out, pos, _, err = ct.Confirm(7, 4)
+	if err != nil || out != ConfirmNew {
+		t.Fatalf("new: %v %v", out, err)
+	}
+	if pos == 0 {
+		t.Fatal("no position for new child")
+	}
+}
+
+func TestSetConfirmed(t *testing.T) {
+	ct := NewChildTable(nil)
+	ct.Observe(1)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.SetConfirmed(1, 99) {
+		t.Fatal("confirmed with wrong position")
+	}
+	if !ct.SetConfirmed(1, ct.Position(1)) {
+		t.Fatal("confirm with right position failed")
+	}
+	if !ct.AllConfirmed() {
+		t.Fatal("AllConfirmed false after confirming all")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	ct := NewChildTable(nil)
+	ct.Observe(1)
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	ct.Remove(1)
+	if ct.Position(1) != 0 || ct.Len() != 0 {
+		t.Fatal("remove did not clear entry")
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	ct := NewChildTable(nil)
+	for _, id := range []uint16{9, 2, 7, 4} {
+		ct.Observe(radioNodeID(id))
+	}
+	if err := ct.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	es := ct.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].Child <= es[i-1].Child {
+			t.Fatalf("entries not sorted: %+v", es)
+		}
+	}
+}
+
+// Property: positions are always unique and within the space.
+func TestPositionUniquenessProperty(t *testing.T) {
+	f := func(nInitial uint8, nRequests uint8) bool {
+		ct := NewChildTable(nil)
+		ni := int(nInitial%20) + 1
+		for i := 0; i < ni; i++ {
+			ct.Observe(radioNodeID(uint16(i)))
+		}
+		if err := ct.AllocateInitial(); err != nil {
+			return false
+		}
+		for i := 0; i < int(nRequests%40); i++ {
+			if _, _, err := ct.Request(radioNodeID(uint16(100 + i))); err != nil {
+				return false
+			}
+		}
+		seen := make(map[uint16]bool)
+		for _, e := range ct.Entries() {
+			if e.Position == 0 || int(e.Position) >= 1<<ct.SpaceBits() {
+				return false
+			}
+			if seen[e.Position] {
+				return false
+			}
+			seen[e.Position] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// radioNodeID converts for test readability.
+func radioNodeID(v uint16) radio.NodeID { return radio.NodeID(v) }

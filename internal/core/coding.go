@@ -1,0 +1,381 @@
+package core
+
+import (
+	"time"
+
+	"teleadjust/internal/ctp"
+	"teleadjust/internal/radio"
+)
+
+// buildExt assembles the TeleAdjusting state piggybacked on each routing
+// beacon.
+func (e *Engine) buildExt() any {
+	ext := &TeleExt{
+		HasCode:  e.haveCode,
+		Code:     e.myCode,
+		Depth:    e.depth,
+		Parent:   e.ctp.Parent(),
+		Position: e.position,
+	}
+	if e.children.Allocated() {
+		ext.SpaceBits = uint8(e.children.SpaceBits())
+		// Attach allocations while any child is unconfirmed, so lost
+		// TeleAdjusting beacons are repaired by subsequent routing beacons.
+		if !e.children.AllConfirmed() {
+			ext.Allocations = e.children.Entries()
+		}
+	}
+	return ext
+}
+
+// onParentChange reacts to CTP parent changes: the routing-found event
+// arms code construction, and later switches invalidate the current code
+// (the new parent allocates a fresh position).
+func (e *Engine) onParentChange(old, new radio.NodeID) {
+	if e.isSink {
+		return
+	}
+	if old != ctp.NoParent && e.haveCode {
+		// Keep the superseded code matchable for a while.
+		e.retireCode()
+	}
+	e.position = 0
+	e.havePosition = false
+	e.haveParent = false
+	if !e.haveCode {
+		e.haveEligibleAt = false // the clock restarts with the new parent
+	}
+	// If we already know the new parent's published code (from overheard
+	// beacons), request a position proactively instead of waiting for its
+	// next beacon — Trickle intervals can be long in a settled network.
+	if nc, ok := e.neighborCodes[new]; ok && nc.spaceBits > 0 {
+		e.lastRequest = e.eng.Now()
+		e.stats.PositionReqs++
+		_ = e.node.Send(&radio.Frame{
+			Kind:    radio.FrameData,
+			Dst:     new,
+			Size:    8,
+			Payload: &PositionRequest{},
+		})
+	}
+}
+
+// onBeacon processes every received routing beacon: neighbor code learning,
+// child discovery, and parent/child consistency (Algorithms 2 and 3).
+func (e *Engine) onBeacon(from radio.NodeID, b *ctp.Beacon) {
+	now := e.eng.Now()
+	// Hearing a routing beacon clears the unreachable flag (Section
+	// III-C3: "until it hears the corresponding routing beacon from them
+	// again").
+	delete(e.unreachable, from)
+
+	ext, ok := b.Ext.(*TeleExt)
+	if !ok || ext == nil {
+		// Plain beacon: child discovery still works from the routing
+		// parent field.
+		if b.Parent == e.node.ID() {
+			e.observeChild(from)
+		}
+		return
+	}
+	// Neighbor code table upkeep.
+	if ext.HasCode {
+		nc := e.neighborCodes[from]
+		if nc == nil {
+			nc = &neighborCode{}
+			e.neighborCodes[from] = nc
+		}
+		if !nc.code.IsEmpty() && !nc.code.Equal(ext.Code) {
+			nc.oldCode = nc.code
+			nc.oldUntil = now + e.cfg.OldCodeTTL
+		}
+		nc.code = ext.Code
+		nc.depth = ext.Depth
+		nc.spaceBits = ext.SpaceBits
+		nc.heardAt = now
+	}
+
+	if from == e.ctp.Parent() {
+		e.onParentBeacon(from, ext)
+	}
+	if ext.Parent == e.node.ID() {
+		e.onChildBeacon(from, ext)
+	} else {
+		// A former child that moved away frees its position.
+		if e.children.Position(from) != 0 {
+			e.children.Remove(from)
+		}
+	}
+}
+
+// onParentBeacon implements the child side (Algorithm 3).
+func (e *Engine) onParentBeacon(from radio.NodeID, ext *TeleExt) {
+	if e.isSink || !ext.HasCode {
+		return
+	}
+	if !e.haveCode && !e.haveEligibleAt {
+		e.eligibleAt = e.eng.Now()
+		e.haveEligibleAt = true
+	}
+	parentChanged := !e.haveParent ||
+		!e.parentCode.Equal(ext.Code) ||
+		e.parentSpace != ext.SpaceBits
+	e.parentCode = ext.Code
+	e.parentSpace = ext.SpaceBits
+	e.parentDepth = ext.Depth
+	e.haveParent = true
+
+	// Scan the attached allocations for my entry.
+	for _, a := range ext.Allocations {
+		if a.Child != e.node.ID() {
+			continue
+		}
+		if !e.havePosition || e.position != a.Position {
+			e.adoptPosition(a.Position)
+		}
+		if !a.Confirmed {
+			e.sendConfirm(from)
+		}
+		if parentChanged {
+			e.recomputeCode()
+		}
+		return
+	}
+
+	switch {
+	case e.havePosition:
+		// Space extension or upstream code change: recompute.
+		if parentChanged {
+			e.recomputeCode()
+		}
+	case ext.SpaceBits > 0:
+		// Parent has allocated but I have no position: request one
+		// (Section III-B4), rate limited.
+		if e.eng.Now()-e.lastRequest >= e.cfg.RequestMinGap {
+			e.lastRequest = e.eng.Now()
+			e.stats.PositionReqs++
+			_ = e.node.Send(&radio.Frame{
+				Kind:    radio.FrameData,
+				Dst:     from,
+				Size:    8,
+				Payload: &PositionRequest{},
+			})
+		}
+	}
+}
+
+// onChildBeacon implements the parent side (Algorithm 2) driven by the
+// child's piggybacked position announcement.
+func (e *Engine) onChildBeacon(from radio.NodeID, ext *TeleExt) {
+	e.observeChild(from)
+	if !e.children.Allocated() {
+		return
+	}
+	if ext.Position == 0 {
+		// Child without a position: allocate (or look up) and acknowledge.
+		e.allocateAndAck(from)
+		return
+	}
+	out, pos, extended, err := e.children.Confirm(from, ext.Position)
+	if err != nil {
+		return
+	}
+	switch out {
+	case ConfirmMatched:
+		e.stats.Confirms++
+	case ConfirmReallocated, ConfirmNew:
+		if extended {
+			e.spaceExtended()
+		}
+		e.sendAllocationAck(from, pos)
+	}
+}
+
+// observeChild records child discovery and (re)arms the initial-allocation
+// timer.
+func (e *Engine) observeChild(from radio.NodeID) {
+	if e.children.Observe(from) {
+		e.lastChildNews = e.eng.Now()
+		if !e.children.Allocated() {
+			e.allocTimer.Start(e.cfg.AllocDelay)
+		}
+	}
+}
+
+// maybeAllocate fires AllocDelay after the last new-child discovery
+// (Algorithm 1's trigger condition).
+func (e *Engine) maybeAllocate() {
+	if e.children.Allocated() || e.children.PendingLen() == 0 {
+		return
+	}
+	if !e.haveCode {
+		// Cannot publish prefixes without a code yet; retry shortly.
+		e.allocTimer.Start(e.cfg.AllocDelay / 2)
+		return
+	}
+	if err := e.children.AllocateInitial(); err != nil {
+		return
+	}
+	// "Consecutively broadcast two TeleAdjusting beacon attaching all
+	// <child, position, flag> information": reset trickle now; the
+	// allocations ride on every beacon until confirmed.
+	e.ctp.TriggerBeacon()
+}
+
+// allocateAndAck gives a position to a known-or-new child and unicasts the
+// allocation acknowledgement.
+func (e *Engine) allocateAndAck(child radio.NodeID) {
+	pos, extended, err := e.children.Request(child)
+	if err != nil {
+		return
+	}
+	if extended {
+		e.spaceExtended()
+	}
+	e.sendAllocationAck(child, pos)
+}
+
+func (e *Engine) sendAllocationAck(child radio.NodeID, pos uint16) {
+	e.stats.AllocationAcks++
+	_ = e.node.Send(&radio.Frame{
+		Kind: radio.FrameData,
+		Dst:  child,
+		Size: 8 + e.myCode.SizeBytes(),
+		Payload: &AllocationAck{
+			Position:    pos,
+			SpaceBits:   uint8(e.children.SpaceBits()),
+			ParentCode:  e.myCode,
+			ParentDepth: e.depth,
+		},
+	})
+}
+
+// spaceExtended reacts to a bit-space extension: all children must learn
+// the wider width, so beacon immediately.
+func (e *Engine) spaceExtended() {
+	e.stats.SpaceExtensions++
+	e.ctp.TriggerBeacon()
+}
+
+// deliverPositionRequest is the parent side of Section III-B4.
+func (e *Engine) deliverPositionRequest(child radio.NodeID) {
+	e.observeChild(child)
+	if !e.children.Allocated() {
+		// Initial allocation hasn't fired; the request marks child
+		// pressure, so allocate as soon as the timer allows.
+		return
+	}
+	e.allocateAndAck(child)
+}
+
+// deliverAllocationAck is the child side: adopt everything in one step.
+func (e *Engine) deliverAllocationAck(from radio.NodeID, a *AllocationAck) {
+	if !e.haveCode && !e.haveEligibleAt {
+		e.eligibleAt = e.eng.Now()
+		e.haveEligibleAt = true
+	}
+	if from != e.ctp.Parent() {
+		return // stale ack from a previous parent
+	}
+	e.parentCode = a.ParentCode
+	e.parentSpace = a.SpaceBits
+	e.parentDepth = a.ParentDepth
+	e.haveParent = true
+	e.adoptPosition(a.Position)
+	e.recomputeCode()
+	e.sendConfirm(from)
+}
+
+func (e *Engine) adoptPosition(pos uint16) {
+	e.position = pos
+	e.havePosition = true
+	e.recomputeCode()
+}
+
+func (e *Engine) sendConfirm(parent radio.NodeID) {
+	_ = e.node.Send(&radio.Frame{
+		Kind:    radio.FrameData,
+		Dst:     parent,
+		Size:    8,
+		Payload: &ConfirmFrame{Position: e.position},
+	})
+}
+
+// recomputeCode derives this node's code from the parent's published code,
+// space width and our position; on change it retires the old code,
+// triggers a beacon (children must re-derive), and reports upward.
+func (e *Engine) recomputeCode() {
+	if e.isSink || !e.haveParent || !e.havePosition || e.parentSpace == 0 {
+		return
+	}
+	code, err := e.parentCode.Extend(e.position, int(e.parentSpace))
+	if err != nil {
+		return
+	}
+	if e.haveCode && code.Equal(e.myCode) {
+		return
+	}
+	if e.haveCode {
+		e.retireCode()
+	} else {
+		e.codeAt = e.eng.Now()
+	}
+	e.myCode = code
+	e.haveCode = true
+	e.depth = e.parentDepth + 1
+	e.stats.CodeChanges++
+	e.ctp.TriggerBeacon()
+	e.sendCodeReport()
+	// A late-arriving code must not stall children that were discovered
+	// long ago: allocate as soon as the quiet period is already over.
+	if !e.children.Allocated() && e.children.PendingLen() > 0 &&
+		e.eng.Now()-e.lastChildNews >= e.cfg.AllocDelay {
+		e.maybeAllocate()
+	}
+}
+
+// retireCode keeps the superseded code matchable for OldCodeTTL.
+func (e *Engine) retireCode() {
+	e.myOldCode = e.myCode
+	e.oldCodeUntil = e.eng.Now() + e.cfg.OldCodeTTL
+}
+
+// sendCodeReport pushes the current code to the controller over CTP,
+// rate-limited: during initial construction codes change in cascades and
+// per-change reports would congest the upward plane.
+func (e *Engine) sendCodeReport() {
+	if e.isSink || !e.haveCode || !e.ctp.HasRoute() {
+		return
+	}
+	const minGap = 10 * time.Second
+	now := e.eng.Now()
+	if now-e.lastReport < minGap {
+		if !e.reportDirty {
+			e.reportDirty = true
+			e.eng.Schedule(minGap-(now-e.lastReport), func() {
+				e.reportDirty = false
+				e.sendCodeReport()
+			})
+		}
+		return
+	}
+	e.lastReport = now
+	_ = e.ctp.SendToSink(&CodeReport{Code: e.myCode, Depth: e.depth})
+}
+
+// handleCollect is the sink-side CTP delivery hook: registry updates, e2e
+// acks, and pass-through of application payloads.
+func (e *Engine) handleCollect(origin radio.NodeID, app any) {
+	switch p := app.(type) {
+	case *CodeReport:
+		e.registry[origin] = CodeInfo{Code: p.Code, Depth: p.Depth, At: e.eng.Now()}
+	case *E2EAck:
+		e.resolveAck(p)
+	case *ScopeAck:
+		e.resolveScopeAck(p)
+	default:
+		if e.appDelive != nil {
+			e.appDelive(origin, app)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+// White-box tests of the coding state machine, driving the Algorithm 2/3
+// handlers directly.
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/ctp"
+	"teleadjust/internal/mac"
+	"teleadjust/internal/node"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+// bareEngine builds a TeleAdjusting engine on a small medium without
+// starting network timers.
+func bareEngine(t *testing.T, isSink bool) (*sim.Engine, *Engine, *ctp.CTP) {
+	t.Helper()
+	eng := sim.NewEngine()
+	params := radio.DefaultParams()
+	params.ShadowSigmaDB = 0
+	med, err := radio.NewMedium(eng, topology.Line(3, 7), nil, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mac.New(eng, med.Radio(0), mac.DefaultConfig(), sim.NewRNG(1), nil)
+	n := node.New(eng, m)
+	c := ctp.New(n, ctp.DefaultConfig(), sim.NewRNG(2), isSink)
+	te := New(n, c, DefaultConfig(), sim.NewRNG(3))
+	return eng, te, c
+}
+
+func TestDeliverAllocationAckFromStranger(t *testing.T) {
+	_, te, _ := bareEngine(t, false)
+	// An allocation ack from a node that is NOT our CTP parent must be
+	// ignored (stale ack from a previous parent).
+	te.deliverAllocationAck(9, &AllocationAck{
+		Position:   1,
+		SpaceBits:  2,
+		ParentCode: RootCode(),
+	})
+	if _, ok := te.Code(); ok {
+		t.Fatal("adopted a code from a stranger's allocation ack")
+	}
+}
+
+func TestRecomputeRequiresInputs(t *testing.T) {
+	_, te, _ := bareEngine(t, false)
+	te.recomputeCode()
+	if _, ok := te.Code(); ok {
+		t.Fatal("derived a code without parent state")
+	}
+	// Partial state: position but no parent code.
+	te.position = 1
+	te.havePosition = true
+	te.recomputeCode()
+	if _, ok := te.Code(); ok {
+		t.Fatal("derived a code without the parent's code")
+	}
+}
+
+func TestSinkSeedsRootCode(t *testing.T) {
+	_, te, _ := bareEngine(t, true)
+	code, ok := te.Code()
+	if !ok || !code.Equal(RootCode()) {
+		t.Fatalf("sink code = %v/%v, want root", code, ok)
+	}
+	if te.Depth() != 0 {
+		t.Fatalf("sink depth = %d", te.Depth())
+	}
+}
+
+func TestChildBeaconDiscoveryAndMaintenance(t *testing.T) {
+	_, te, _ := bareEngine(t, true)
+	// A beacon from a child claiming us as parent registers it.
+	te.onChildBeacon(2, &TeleExt{Parent: 0, Position: 0})
+	if te.children.PendingLen() != 1 {
+		t.Fatalf("pending = %d", te.children.PendingLen())
+	}
+	// Allocate and then process a consistent announcement: confirmed.
+	if err := te.children.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	pos := te.children.Position(2)
+	te.onChildBeacon(2, &TeleExt{Parent: 0, Position: pos})
+	if !te.children.AllConfirmed() {
+		t.Fatal("consistent announcement did not confirm")
+	}
+	// An inconsistent announcement resets the flag (Algorithm 2).
+	te.onChildBeacon(2, &TeleExt{Parent: 0, Position: pos + 5})
+	if te.children.AllConfirmed() {
+		t.Fatal("mismatched announcement left the entry confirmed")
+	}
+}
+
+func TestFormerChildFreesPosition(t *testing.T) {
+	_, te, _ := bareEngine(t, true)
+	te.onChildBeacon(2, &TeleExt{Parent: 0})
+	if err := te.children.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	if te.children.Position(2) == 0 {
+		t.Fatal("setup failed")
+	}
+	// The child's next beacon names a different parent: the position
+	// frees (handled by onBeacon's else-branch).
+	b := &ctp.Beacon{Parent: 9, Ext: &TeleExt{Parent: 9, HasCode: true, Code: MustCode("010")}}
+	te.onBeacon(2, b)
+	if te.children.Position(2) != 0 {
+		t.Fatal("former child's position not freed")
+	}
+}
+
+func TestNeighborCodeRetirement(t *testing.T) {
+	eng, te, _ := bareEngine(t, false)
+	first := MustCode("001")
+	second := MustCode("01001")
+	te.onBeacon(2, &ctp.Beacon{Parent: 0, Ext: &TeleExt{HasCode: true, Code: first, Parent: 0}})
+	te.onBeacon(2, &ctp.Beacon{Parent: 0, Ext: &TeleExt{HasCode: true, Code: second, Parent: 0}})
+	nc := te.neighborCodes[2]
+	if nc == nil || !nc.code.Equal(second) {
+		t.Fatalf("new code not recorded: %+v", nc)
+	}
+	if !nc.oldCode.Equal(first) {
+		t.Fatalf("old code not retired for matching: %+v", nc)
+	}
+	if nc.oldUntil <= eng.Now() {
+		t.Fatal("old code TTL not set")
+	}
+}
+
+func TestUnreachableClearedByBeacon(t *testing.T) {
+	_, te, _ := bareEngine(t, false)
+	te.unreachable[5] = true
+	te.onBeacon(5, &ctp.Beacon{Parent: ctp.NoParent})
+	if te.unreachable[5] {
+		t.Fatal("routing beacon did not clear the unreachable flag (Section III-C3)")
+	}
+}
+
+func TestCodeReportRateLimited(t *testing.T) {
+	eng, te, c := bareEngine(t, false)
+	_ = c
+	// Give the node a code and a parent-less CTP (SendToSink fails, but
+	// the rate limiter is what's under test: count report ATTEMPTS via
+	// lastReport movement).
+	te.myCode = MustCode("001")
+	te.haveCode = true
+	te.sendCodeReport() // no route: returns before touching lastReport
+	if te.lastReport != 0 {
+		t.Fatal("report attempted without a route")
+	}
+	_ = eng
+}
+
+func TestBuildExtAttachesAllocationsWhileUnconfirmed(t *testing.T) {
+	_, te, _ := bareEngine(t, true)
+	te.onChildBeacon(2, &TeleExt{Parent: 0})
+	if err := te.children.AllocateInitial(); err != nil {
+		t.Fatal(err)
+	}
+	ext := te.buildExt().(*TeleExt)
+	if len(ext.Allocations) != 1 {
+		t.Fatalf("allocations not attached: %+v", ext)
+	}
+	// After confirmation the piggyback slims down.
+	te.children.SetConfirmed(2, te.children.Position(2))
+	ext = te.buildExt().(*TeleExt)
+	if len(ext.Allocations) != 0 {
+		t.Fatal("allocations still attached after all confirmed")
+	}
+}
+
+func TestScopeRoleOf(t *testing.T) {
+	_, te, _ := bareEngine(t, false)
+	te.myCode = MustCode("00101")
+	te.haveCode = true
+	if got := te.scopeRoleOf(MustCode("001")); got != scopeMember {
+		t.Fatalf("subtree member role = %v", got)
+	}
+	if got := te.scopeRoleOf(MustCode("0010101")); got != scopeAncestor {
+		t.Fatalf("ancestor role = %v", got)
+	}
+	if got := te.scopeRoleOf(MustCode("010")); got != scopeOutside {
+		t.Fatalf("outsider role = %v", got)
+	}
+	if got := te.scopeRoleOf(EmptyCode); got != scopeMember {
+		t.Fatalf("one-to-all role = %v", got)
+	}
+}
+
+func TestScopeRoleUsesOldCode(t *testing.T) {
+	eng, te, _ := bareEngine(t, false)
+	te.myCode = MustCode("010")
+	te.haveCode = true
+	te.myOldCode = MustCode("00101")
+	te.oldCodeUntil = eng.Now() + time.Minute
+	if got := te.scopeRoleOf(MustCode("001")); got != scopeMember {
+		t.Fatalf("old-code member role = %v", got)
+	}
+	te.oldCodeUntil = 0 // expired
+	if got := te.scopeRoleOf(MustCode("001")); got != scopeOutside {
+		t.Fatalf("expired old code still grants membership: %v", got)
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"teleadjust/internal/radio"
+)
+
+// Controller-side errors.
+var (
+	ErrNotSink     = errors.New("core: control operations originate at the sink")
+	ErrUnknownCode = errors.New("core: destination path code unknown to the controller")
+	ErrSelfControl = errors.New("core: sink cannot be its own control destination")
+)
+
+// SendControl originates a control operation from the sink toward dst,
+// carrying app. cb (optional) fires exactly once with the outcome: on the
+// end-to-end acknowledgement, or on timeout/undeliverability (possibly
+// after the Re-Tele rescue attempt).
+func (e *Engine) SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32, error) {
+	if !e.isSink {
+		return 0, ErrNotSink
+	}
+	if dst == e.node.ID() {
+		return 0, ErrSelfControl
+	}
+	info, ok := e.registry[dst]
+	if !ok {
+		return 0, fmt.Errorf("%w: node %d", ErrUnknownCode, dst)
+	}
+	e.uidSeq++
+	uid := e.uidSeq
+	c := &Control{
+		UID:     uid,
+		Op:      uid,
+		Dst:     dst,
+		DstCode: info.Code,
+		App:     app,
+	}
+	p := &pendingControl{op: uid, dst: dst, app: app, sentAt: e.eng.Now(), cb: cb}
+	p.timeout = e.eng.Schedule(e.cfg.ControlTimeout, func() { e.pendingTimeout(uid) })
+	e.pending[uid] = p
+
+	st := &ctrlState{
+		ctrl:       c,
+		attempts:   e.cfg.RetryRounds + 1,
+		backtracks: e.cfg.Backtracks,
+		excluded:   make(map[radio.NodeID]bool),
+		status:     ctrlForwarding,
+		at:         e.eng.Now(),
+	}
+	e.ctrl[uid] = st
+	e.forwardControl(st)
+	return uid, nil
+}
+
+// MultiResult reports the outcome of a one-to-many control operation.
+type MultiResult struct {
+	// Results holds the per-destination outcomes, indexed by node.
+	Results map[radio.NodeID]Result
+	// OKCount is the number of acknowledged destinations.
+	OKCount int
+}
+
+// SendControlMulti delivers app to every destination in dsts (the paper's
+// one-to-many extension): one targeted control operation per destination,
+// sharing the encoded-path machinery. cb fires once, after every
+// destination has resolved (ack, rescue, or timeout). Destinations whose
+// codes are unknown appear in the result with OK=false immediately.
+func (e *Engine) SendControlMulti(dsts []radio.NodeID, app any, cb func(MultiResult)) error {
+	if !e.isSink {
+		return ErrNotSink
+	}
+	if len(dsts) == 0 {
+		return errors.New("core: empty destination set")
+	}
+	agg := MultiResult{Results: make(map[radio.NodeID]Result, len(dsts))}
+	remaining := len(dsts)
+	finish := func(dst radio.NodeID, r Result) {
+		agg.Results[dst] = r
+		if r.OK {
+			agg.OKCount++
+		}
+		remaining--
+		if remaining == 0 && cb != nil {
+			cb(agg)
+		}
+	}
+	for _, dst := range dsts {
+		dst := dst
+		if _, err := e.SendControl(dst, app, func(r Result) { finish(dst, r) }); err != nil {
+			finish(dst, Result{Dst: dst, OK: false})
+		}
+	}
+	return nil
+}
+
+// KnowsCode reports whether the controller has a code for dst.
+func (e *Engine) KnowsCode(dst radio.NodeID) bool {
+	if e.registry == nil {
+		return false
+	}
+	_, ok := e.registry[dst]
+	return ok
+}
+
+// resolveAck completes a pending operation on the end-to-end ack.
+func (e *Engine) resolveAck(ack *E2EAck) {
+	p, ok := e.pending[ack.UID]
+	if !ok {
+		return
+	}
+	delete(e.pending, ack.UID)
+	p.timeout.Cancel()
+	if p.cb != nil {
+		p.cb(Result{
+			UID:      ack.UID,
+			Dst:      ack.From,
+			OK:       true,
+			Latency:  e.eng.Now() - p.sentAt,
+			E2EHops:  ack.Hops,
+			Detoured: p.detoured,
+		})
+	}
+}
+
+// pendingTimeout fires when no e2e ack arrived in time: either the packet
+// never made it or its acknowledgement was lost on a blocked upward path.
+// Both are what the Section III-C4 countermeasure addresses (the rescue
+// relay also carries the ack back on its own tree), so one rescue attempt
+// is made before giving up.
+func (e *Engine) pendingTimeout(uid uint32) {
+	p, ok := e.pending[uid]
+	if !ok {
+		return
+	}
+	if e.tryRescue(uid, p) {
+		return
+	}
+	e.failPending(uid, p)
+}
+
+// sinkUndeliverable is called when the sink's own forwarding (including
+// backtracked packets) gives up before the timeout.
+func (e *Engine) sinkUndeliverable(c *Control) {
+	p, ok := e.pending[c.UID]
+	if !ok {
+		return
+	}
+	if e.tryRescue(c.UID, p) {
+		return
+	}
+	e.failPending(c.UID, p)
+}
+
+func (e *Engine) failPending(uid uint32, p *pendingControl) {
+	delete(e.pending, uid)
+	p.timeout.Cancel()
+	e.stats.SendFailures++
+	if p.cb != nil {
+		p.cb(Result{
+			UID:      uid,
+			Dst:      p.dst,
+			OK:       false,
+			Latency:  e.eng.Now() - p.sentAt,
+			Detoured: p.detoured,
+		})
+	}
+}
+
+// tryRescue implements the destination-unreachable countermeasure
+// (Section III-C4): route to a code-divergent neighbor K of the
+// destination with a good link, and have K deliver directly.
+func (e *Engine) tryRescue(uid uint32, p *pendingControl) bool {
+	if !e.cfg.Rescue || p.rescued || e.oracle == nil {
+		return false
+	}
+	dstInfo, ok := e.registry[p.dst]
+	if !ok {
+		return false
+	}
+	k := e.pickRescueRelay(p.dst, dstInfo.Code)
+	if k == radio.BroadcastID {
+		return false
+	}
+	kInfo := e.registry[k]
+	p.rescued = true
+	p.detoured = true
+	e.stats.Rescues++
+
+	// The rescue attempt gets its own UID on the wire so relays that
+	// already carry state for the original attempt participate afresh;
+	// both UIDs resolve to the same pending operation.
+	e.uidSeq++
+	uid2 := e.uidSeq
+	e.pending[uid2] = p
+	delete(e.pending, uid)
+	p.timeout.Cancel()
+	p.timeout = e.eng.Schedule(e.cfg.ControlTimeout, func() { e.pendingTimeout(uid2) })
+
+	c := &Control{
+		UID:      uid2,
+		Op:       p.op,
+		Dst:      k,
+		DstCode:  kInfo.Code,
+		Detour:   true,
+		FinalDst: p.dst,
+		App:      p.app,
+	}
+	st := &ctrlState{
+		ctrl:       c,
+		attempts:   e.cfg.RetryRounds + 1,
+		backtracks: e.cfg.Backtracks,
+		excluded:   make(map[radio.NodeID]bool),
+		status:     ctrlForwarding,
+		at:         e.eng.Now(),
+	}
+	e.ctrl[uid2] = st
+	e.forwardControl(st)
+	return true
+}
+
+// pickRescueRelay chooses the destination neighbor with a path code
+// diverging from the destination's as early as possible ("a neighbor node
+// of the destination with different path code to the greatest extent") and
+// a high-quality link to it.
+func (e *Engine) pickRescueRelay(dst radio.NodeID, dstCode PathCode) radio.NodeID {
+	const minQuality = 0.6
+	best := radio.BroadcastID
+	bestDivergence := -1
+	bestQuality := 0.0
+	for _, k := range e.oracle.NeighborsOf(dst) {
+		if k == dst || k == e.node.ID() {
+			continue
+		}
+		info, ok := e.registry[k]
+		if !ok {
+			continue
+		}
+		q := e.oracle.LinkQuality(k, dst)
+		if q < minQuality {
+			continue
+		}
+		// Divergence: smaller common prefix = more divergent path.
+		div := dstCode.Len() - info.Code.CommonPrefixLen(dstCode)
+		if div > bestDivergence || (div == bestDivergence && q > bestQuality) {
+			best = k
+			bestDivergence = div
+			bestQuality = q
+		}
+	}
+	return best
+}
+
+// PendingCount returns the number of in-flight control operations.
+func (e *Engine) PendingCount() int { return len(e.pending) }

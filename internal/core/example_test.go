@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"fmt"
+
+	"teleadjust/internal/core"
+)
+
+// ExamplePathCode reproduces the paper's Figure 2: the sink S holds the
+// root code, allocates 2-bit positions to its children A and M, and A
+// extends the chain toward B — every ancestor's code is a prefix of its
+// descendants'.
+func ExamplePathCode() {
+	s := core.RootCode()
+	a, _ := s.Extend(1, 2) // A takes position 1 of S's 2-bit space
+	m, _ := s.Extend(2, 2) // M takes position 2
+	b, _ := a.Extend(1, 2) // B takes position 1 of A's space
+
+	fmt.Println("S:", s)
+	fmt.Println("A:", a)
+	fmt.Println("M:", m)
+	fmt.Println("B:", b)
+	fmt.Println("S prefix of B:", s.IsPrefixOf(b))
+	fmt.Println("A prefix of B:", a.IsPrefixOf(b))
+	fmt.Println("M prefix of B:", m.IsPrefixOf(b))
+	// Output:
+	// S: 0
+	// A: 001
+	// M: 010
+	// B: 00101
+	// S prefix of B: true
+	// A prefix of B: true
+	// M prefix of B: false
+}
+
+// ExamplePathCode_relayDecision shows the prefix-matching relay rule of
+// Section III-C: given a destination code and the expected relay's valid
+// length, a node (or one of its neighbors) qualifies when its matched
+// prefix is strictly longer.
+func ExamplePathCode_relayDecision() {
+	dst := core.MustCode("0010101") // destination's path code
+	expectedLen := 3                // expected relay A holds a 3-bit code
+
+	c := core.MustCode("00101") // node C, deeper on the encoded path
+	m := core.MustCode("010")   // node M, on another branch
+
+	qualifies := func(code core.PathCode) bool {
+		return code.IsPrefixOf(dst) && code.Len() > expectedLen
+	}
+	fmt.Println("C qualifies:", qualifies(c))
+	fmt.Println("M qualifies:", qualifies(m))
+	// M still helps if it knows C as a neighbor (condition 3):
+	fmt.Println("M can vouch for C:", qualifies(c))
+	// Output:
+	// C qualifies: true
+	// M qualifies: false
+	// M can vouch for C: true
+}
+
+// ExampleChildTable walks Algorithm 1: size the bit space for the
+// discovered children plus reserve, then allocate deterministic positions.
+func ExampleChildTable() {
+	ct := core.NewChildTable(core.DefaultReserve)
+	ct.Observe(12)
+	ct.Observe(7)
+	if err := ct.AllocateInitial(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("space bits:", ct.SpaceBits())
+	for _, e := range ct.Entries() {
+		fmt.Printf("child %d -> position %d\n", e.Child, e.Position)
+	}
+	// Output:
+	// space bits: 2
+	// child 7 -> position 1
+	// child 12 -> position 2
+}

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"teleadjust/internal/mac"
+	"teleadjust/internal/radio"
+)
+
+// Ack-election priorities: the destination acks first, then on-path relays
+// ordered by progress, then relays that only know a qualifying neighbor,
+// and the expected relay last (it is the floor everyone else outbids).
+const (
+	prioDestination = 0
+	prioExpected    = 7
+)
+
+// progressPrio maps a progress advantage (matched bits beyond the
+// qualification bar) to an ack slot: more progress acks earlier.
+func progressPrio(adv int) int {
+	switch {
+	case adv >= 6:
+		return 1
+	case adv >= 4:
+		return 2
+	case adv >= 2:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// myMatch returns the length of this node's code (or still-valid old code)
+// prefix-matched against dst, 0 if neither matches.
+func (e *Engine) myMatch(dst PathCode) int {
+	best := 0
+	if e.haveCode && e.myCode.IsPrefixOf(dst) {
+		best = e.myCode.Len()
+	}
+	if !e.myOldCode.IsEmpty() && e.eng.Now() < e.oldCodeUntil &&
+		e.myOldCode.IsPrefixOf(dst) && e.myOldCode.Len() > best {
+		best = e.myOldCode.Len()
+	}
+	return best
+}
+
+// neighborMatch returns the freshest qualifying neighbor match above the
+// bar: the neighbor id and its matched prefix length (0 if none). Excluded
+// and unreachable neighbors are skipped.
+func (e *Engine) neighborMatch(dst PathCode, bar int, excluded map[radio.NodeID]bool) (radio.NodeID, int) {
+	now := e.eng.Now()
+	bestID := radio.BroadcastID
+	best := 0
+	for id, nc := range e.neighborCodes {
+		if e.unreachable[id] || (excluded != nil && excluded[id]) {
+			continue
+		}
+		if now-nc.heardAt > e.cfg.NeighborCodeTTL {
+			continue
+		}
+		ml := 0
+		if nc.code.IsPrefixOf(dst) {
+			ml = nc.code.Len()
+		}
+		if !nc.oldCode.IsEmpty() && now < nc.oldUntil &&
+			nc.oldCode.IsPrefixOf(dst) && nc.oldCode.Len() > ml {
+			ml = nc.oldCode.Len()
+		}
+		if ml > bar && (ml > best || (ml == best && id < bestID)) {
+			best = ml
+			bestID = id
+		}
+	}
+	return bestID, best
+}
+
+// classifyControl implements the three relay conditions of Section III-C:
+// (1) being the expected relay, (2) owning a longer matched prefix than the
+// expected relay, (3) knowing a neighbor that satisfies (2) — plus the
+// destination itself.
+func (e *Engine) classifyControl(f *radio.Frame, c *Control) mac.Classification {
+	me := e.node.ID()
+	if c.FinalLeg {
+		if f.Dst == me {
+			return mac.Classification{Decision: mac.AckAndDeliver, Prio: prioDestination}
+		}
+		return mac.Classification{Decision: mac.Ignore}
+	}
+	if c.Dst == me {
+		// Destination (or detour target): always accept.
+		return mac.Classification{Decision: mac.AckAndDeliver, Prio: prioDestination}
+	}
+	if st, ok := e.ctrl[c.UID]; ok && st != nil {
+		// Already carried (or known undeliverable through us). If we are
+		// still streaming this packet and overhear it further along the
+		// path, the downstream relay's ack was lost but the packet has
+		// progressed: treat the overheard forward as an implicit ack.
+		if st.status == ctrlForwarding && f.Src != me &&
+			st.frame != nil && c.Hops > st.ctrl.Hops {
+			e.node.MAC().CancelSend(st.frame)
+		}
+		return mac.Classification{Decision: mac.Ignore}
+	}
+	bar := int(c.ExpectedLen)
+	if e.cfg.Opportunistic {
+		if m := e.myMatch(c.DstCode); m > bar {
+			return mac.Classification{Decision: mac.AckAndDeliver, Prio: progressPrio(m - bar)}
+		}
+		if _, nm := e.neighborMatch(c.DstCode, bar, nil); nm > 0 {
+			prio := progressPrio(nm-bar) + 2
+			if prio > prioExpected-1 {
+				prio = prioExpected - 1
+			}
+			return mac.Classification{Decision: mac.AckAndDeliver, Prio: prio}
+		}
+	}
+	if c.Expected == me {
+		prio := prioExpected
+		if !e.cfg.Opportunistic {
+			prio = 0 // strict mode: only the expected relay answers
+		}
+		return mac.Classification{Decision: mac.AckAndDeliver, Prio: prio}
+	}
+	return mac.Classification{Decision: mac.Ignore}
+}
+
+// deliverControl handles an accepted (and already link-acked) control
+// packet: consume at the destination, hand off at the detour target, or
+// relay downward.
+func (e *Engine) deliverControl(f *radio.Frame, c *Control) {
+	me := e.node.ID()
+	e.athx = append(e.athx, ATHXSample{Hops: c.Hops, At: e.eng.Now()})
+	switch {
+	case c.FinalLeg && f.Dst == me:
+		e.consume(c, f.Src, true)
+	case c.Dst == me && !c.Detour:
+		e.consume(c, f.Src, false)
+	case c.Dst == me && c.Detour:
+		// Rescue relay K: deliver directly to the true destination.
+		leg := &Control{
+			UID:      c.UID,
+			Op:       c.Op,
+			Dst:      c.FinalDst,
+			DstCode:  c.DstCode,
+			FinalDst: c.FinalDst,
+			FinalLeg: true,
+			Hops:     c.Hops + 1,
+			App:      c.App,
+		}
+		e.stats.ControlSends++
+		_ = e.node.Send(&radio.Frame{
+			Kind:    radio.FrameData,
+			Dst:     c.FinalDst,
+			Size:    controlFrameSize(leg),
+			Payload: leg,
+		})
+	default:
+		st := &ctrlState{
+			ctrl:       c,
+			prev:       f.Src,
+			havePrev:   true,
+			attempts:   e.cfg.RetryRounds + 1,
+			backtracks: e.cfg.Backtracks,
+			excluded:   make(map[radio.NodeID]bool),
+			status:     ctrlForwarding,
+			at:         e.eng.Now(),
+		}
+		e.ctrl[c.UID] = st
+		e.gcCtrl()
+		e.forwardControl(st)
+	}
+}
+
+// consume delivers a control packet addressed to this node and returns the
+// end-to-end acknowledgement — over CTP normally, or back through the
+// delivering neighbor on the rescue path (Section III-C5).
+func (e *Engine) consume(c *Control, from radio.NodeID, direct bool) {
+	if e.opDelivered(c.Op) {
+		e.stats.ControlDupDeliv++
+	} else {
+		e.stats.ControlDeliv++
+		if e.deliverFn != nil {
+			e.deliverFn(c.Op, c.Hops)
+		}
+	}
+	ack := E2EAck{UID: c.UID, From: e.node.ID(), Hops: c.Hops}
+	if direct {
+		_ = e.node.Send(&radio.Frame{
+			Kind:    radio.FrameData,
+			Dst:     from,
+			Size:    10,
+			Payload: &AckRelay{Ack: ack},
+		})
+		return
+	}
+	_ = e.ctp.SendToSink(&ack)
+}
+
+// opDelivered marks and reports per-operation app delivery (dedup across
+// rescue attempts, which arrive under fresh wire UIDs).
+func (e *Engine) opDelivered(op uint32) bool {
+	st, ok := e.ctrl[op]
+	if ok && st.status == ctrlDone {
+		return true
+	}
+	e.ctrl[op] = &ctrlState{status: ctrlDone, at: e.eng.Now()}
+	return false
+}
+
+// forwardControl sends the packet one hop downward: pick the expected
+// relay (the qualifying candidate with the *least* progress, so every
+// better-placed node can outbid it — Figure 4c) and stream via the MAC.
+func (e *Engine) forwardControl(st *ctrlState) {
+	c := st.ctrl
+	bar := int(c.ExpectedLen)
+	if m := e.myMatch(c.DstCode); m > bar {
+		bar = m
+	}
+	// Among qualifying neighbors, the expected relay is the one with the
+	// LEAST match above the bar (maximum forwarding opportunity —
+	// Figure 4c sets C, not D). With no qualifying neighbor known, fall
+	// back to naming the destination with the bar as qualification
+	// length, so any on-path node closer than us can still take it.
+	expected := c.Dst
+	expectedLen := bar
+	if minID, minLen := e.minNeighborMatch(c.DstCode, bar, st.excluded); minID != radio.BroadcastID {
+		expected = minID
+		expectedLen = minLen
+	}
+	fwd := &Control{
+		UID:         c.UID,
+		Op:          c.Op,
+		Dst:         c.Dst,
+		DstCode:     c.DstCode,
+		Expected:    expected,
+		ExpectedLen: uint8(expectedLen),
+		Detour:      c.Detour,
+		FinalDst:    c.FinalDst,
+		Hops:        c.Hops + 1,
+		App:         c.App,
+	}
+	st.ctrl = fwd
+	e.stats.ControlSends++
+	if !e.isSink {
+		e.stats.ControlRelayed++
+	}
+	frame := &radio.Frame{
+		Kind:    radio.FrameData,
+		Dst:     radio.BroadcastID,
+		Size:    controlFrameSize(fwd),
+		Payload: fwd,
+	}
+	st.frame = frame
+	if err := e.node.Send(frame); err != nil {
+		st.frame = nil
+		e.handleForwardFailure(st, expected)
+	}
+}
+
+// minNeighborMatch returns the qualifying neighbor with the smallest match
+// above bar.
+func (e *Engine) minNeighborMatch(dst PathCode, bar int, excluded map[radio.NodeID]bool) (radio.NodeID, int) {
+	now := e.eng.Now()
+	bestID := radio.BroadcastID
+	best := int(^uint(0) >> 1)
+	for id, nc := range e.neighborCodes {
+		if e.unreachable[id] || (excluded != nil && excluded[id]) {
+			continue
+		}
+		if now-nc.heardAt > e.cfg.NeighborCodeTTL {
+			continue
+		}
+		ml := 0
+		if nc.code.IsPrefixOf(dst) {
+			ml = nc.code.Len()
+		}
+		if !nc.oldCode.IsEmpty() && now < nc.oldUntil &&
+			nc.oldCode.IsPrefixOf(dst) && nc.oldCode.Len() > ml {
+			ml = nc.oldCode.Len()
+		}
+		if ml > bar && (ml < best || (ml == best && id < bestID)) {
+			best = ml
+			bestID = id
+		}
+	}
+	if bestID == radio.BroadcastID {
+		return radio.BroadcastID, 0
+	}
+	return bestID, best
+}
+
+// controlSendDone reacts to the MAC's verdict on a forwarded control
+// packet.
+func (e *Engine) controlSendDone(f *radio.Frame, c *Control, acker radio.NodeID, ok bool) {
+	if c.FinalLeg {
+		// The rescue final leg is fire-and-forget; the sink's timeout
+		// recovers a loss.
+		if !ok {
+			e.stats.SendFailures++
+		}
+		return
+	}
+	st, tracked := e.ctrl[c.UID]
+	if !tracked || st.status != ctrlForwarding {
+		return
+	}
+	if ok {
+		st.status = ctrlDone
+		st.at = e.eng.Now()
+		_ = acker
+		return
+	}
+	e.handleForwardFailure(st, c.Expected)
+}
+
+// handleForwardFailure retries with a different expected relay, then
+// backtracks (Section III-C3).
+func (e *Engine) handleForwardFailure(st *ctrlState, expected radio.NodeID) {
+	c := st.ctrl
+	if expected != c.Dst {
+		// Flag the silent relay unreachable until its next routing beacon.
+		st.excluded[expected] = true
+		e.unreachable[expected] = true
+	}
+	st.attempts--
+	if st.attempts > 0 {
+		e.forwardControl(st)
+		return
+	}
+	// Exhausted: backtrack to the previous upward relay.
+	st.status = ctrlFailed
+	st.at = e.eng.Now()
+	if st.havePrev {
+		fb := &Feedback{UID: c.UID, FailedRelay: e.node.ID(), Ctrl: c}
+		e.stats.Backtracks++
+		e.stats.FeedbackSends++
+		_ = e.node.Send(&radio.Frame{
+			Kind:    radio.FrameData,
+			Dst:     st.prev,
+			Size:    feedbackFrameSize(fb),
+			Payload: fb,
+		})
+		return
+	}
+	if e.isSink {
+		e.sinkUndeliverable(c)
+	}
+}
+
+// classifyFeedback accepts a feedback packet addressed to us, and — the
+// Figure 5(a) refinement — lets an overhearing on-path node that can still
+// reach the destination intercept the backtrack and resume forwarding
+// ("C's forwarding can stop the transmission of B's feedback").
+func (e *Engine) classifyFeedback(f *radio.Frame, fb *Feedback) mac.Classification {
+	me := e.node.ID()
+	if f.Dst == me {
+		return mac.Classification{Decision: mac.AckAndDeliver, Prio: prioExpected}
+	}
+	if !e.cfg.Opportunistic || !e.cfg.FeedbackIntercept || fb.Ctrl == nil {
+		return mac.Classification{Decision: mac.Ignore}
+	}
+	if st, ok := e.ctrl[fb.UID]; ok && st != nil && st.status != ctrlDone {
+		// We already failed (or are struggling with) this packet.
+		return mac.Classification{Decision: mac.Ignore}
+	}
+	if fb.FailedRelay == me {
+		return mac.Classification{Decision: mac.Ignore}
+	}
+	// Intercept only with a direct on-path match beyond the failed
+	// relay's vantage; this node then owns the packet again.
+	if m := e.myMatch(fb.Ctrl.DstCode); m > 0 {
+		return mac.Classification{Decision: mac.AckAndDeliver, Prio: progressPrio(m)}
+	}
+	return mac.Classification{Decision: mac.Ignore}
+}
+
+// deliverFeedback reopens a packet returned by a downstream relay — at its
+// addressee, or at an on-path interceptor that won the overhearing
+// election (Figure 5a).
+func (e *Engine) deliverFeedback(f *radio.Frame, fb *Feedback) {
+	e.unreachable[fb.FailedRelay] = true
+	st, ok := e.ctrl[fb.UID]
+	if !ok {
+		st = &ctrlState{
+			ctrl: fb.Ctrl,
+			// An interceptor's upstream, should it fail too, is the relay
+			// that emitted this feedback.
+			prev:       f.Src,
+			havePrev:   f.Src != e.node.ID(),
+			attempts:   e.cfg.RetryRounds + 1,
+			backtracks: e.cfg.Backtracks,
+			excluded:   make(map[radio.NodeID]bool),
+			status:     ctrlForwarding,
+			at:         e.eng.Now(),
+		}
+		e.ctrl[fb.UID] = st
+	}
+	// The state may be a bare delivery marker (opDelivered) or carry no
+	// control copy yet; normalize before reopening.
+	if st.excluded == nil {
+		st.excluded = make(map[radio.NodeID]bool)
+	}
+	if st.ctrl == nil {
+		st.ctrl = fb.Ctrl
+	}
+	if st.ctrl == nil {
+		return
+	}
+	st.excluded[fb.FailedRelay] = true
+	st.backtracks--
+	if st.backtracks < 0 {
+		// Give up here too: propagate the feedback upstream.
+		st.status = ctrlFailed
+		if st.havePrev {
+			up := &Feedback{UID: fb.UID, FailedRelay: e.node.ID(), Ctrl: st.ctrl}
+			e.stats.FeedbackSends++
+			_ = e.node.Send(&radio.Frame{
+				Kind:    radio.FrameData,
+				Dst:     st.prev,
+				Size:    feedbackFrameSize(up),
+				Payload: up,
+			})
+		} else if e.isSink {
+			e.sinkUndeliverable(st.ctrl)
+		}
+		return
+	}
+	// The expected-relay bar must be recomputed from our own vantage:
+	// restart from our match.
+	st.ctrl = &Control{
+		UID:         fb.UID,
+		Op:          fb.Ctrl.Op,
+		Dst:         fb.Ctrl.Dst,
+		DstCode:     fb.Ctrl.DstCode,
+		ExpectedLen: 0,
+		Detour:      fb.Ctrl.Detour,
+		FinalDst:    fb.Ctrl.FinalDst,
+		Hops:        fb.Ctrl.Hops,
+		App:         fb.Ctrl.App,
+	}
+	st.status = ctrlForwarding
+	st.attempts = e.cfg.RetryRounds + 1
+	e.stats.Backtracks++
+	e.forwardControl(st)
+}
+
+// gcCtrl bounds the per-UID state table.
+func (e *Engine) gcCtrl() {
+	if len(e.ctrl) < 512 {
+		return
+	}
+	cutoff := e.eng.Now() - 2*e.cfg.ControlTimeout
+	for uid, st := range e.ctrl {
+		if st.at < cutoff && st.status != ctrlForwarding {
+			delete(e.ctrl, uid)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/experiment"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/topology"
+)
+
+// ladder builds two parallel 4-hop chains with rungs, so every hop level
+// has two candidate relays:
+//
+//	0 ─ 1 ─ 3 ─ 5 ─ 7
+//	 \  │   │   │   │
+//	  \ 2 ─ 4 ─ 6 ─ 8
+func ladder() *topology.Deployment {
+	return &topology.Deployment{
+		Name: "ladder",
+		Positions: []topology.Point{
+			{X: 0, Y: 2.5},
+			{X: 7, Y: 0}, {X: 7, Y: 5},
+			{X: 14, Y: 0}, {X: 14, Y: 5},
+			{X: 21, Y: 0}, {X: 21, Y: 5},
+			{X: 28, Y: 0}, {X: 28, Y: 5},
+		},
+		Sink: 0,
+	}
+}
+
+// TestFig8ATHXBoundedByPath: on a clean line the transmissions travelled
+// by a delivered packet equal the path length (no duplicate inflation) —
+// the Fig 8(a) property that TeleAdjusting's ATHX tracks the CTP hop
+// count.
+func TestFig8ATHXBoundedByPath(t *testing.T) {
+	net := convergedLine(t, 5, 41, nil)
+	for i := 1; i < 5; i++ {
+		var gotHops uint8
+		idx := i
+		net.Teles[idx].SetDeliveredFn(func(op uint32, hops uint8) { gotHops = hops })
+		if _, err := net.SinkTele().SendControl(radio.NodeID(idx), "x", nil); err != nil {
+			t.Fatal(err)
+		}
+		run(t, net, 20*time.Second)
+		if gotHops == 0 {
+			t.Fatalf("packet to node %d not delivered", idx)
+		}
+		if int(gotHops) > idx+1 {
+			t.Fatalf("node %d (hop %d) received after %d transmissions — duplicate inflation",
+				idx, idx, gotHops)
+		}
+	}
+}
+
+// TestBacktrackRecoversViaSibling: kill a mid-path relay after convergence
+// on the ladder; the control packet must still arrive through the parallel
+// chain (opportunistic relaying, backtracking, or rescue — Figures 4c/5).
+func TestBacktrackRecoversViaSibling(t *testing.T) {
+	net := buildTele(t, ladder(), 42, nil)
+	run(t, net, 4*time.Minute)
+	dst := radio.NodeID(7)
+	if !net.SinkTele().KnowsCode(dst) {
+		t.Skip("controller never learned node 7's code")
+	}
+	// Kill node 7's tree parent (one of 5/6); the other chain survives.
+	parent := net.Ctps[dst].Parent()
+	if parent == 0 || int(parent) >= net.Dep.Len() {
+		t.Skipf("unexpected parent %d", parent)
+	}
+	net.KillNode(parent)
+	delivered := false
+	net.Teles[dst].SetDeliveredFn(func(op uint32, hops uint8) { delivered = true })
+	var res core.Result
+	got := false
+	if _, err := net.SinkTele().SendControl(dst, "x", func(r core.Result) { res = r; got = true }); err != nil {
+		t.Fatal(err)
+	}
+	run(t, net, 90*time.Second)
+	if !delivered {
+		t.Fatalf("packet never reached node %d around dead relay %d (result=%+v got=%v, sink stats %+v)",
+			dst, parent, res, got, net.SinkTele().Stats())
+	}
+}
+
+// TestOpportunisticBeatStrictUnderFailure: with the same dead relay, the
+// strict-path variant cannot recover (its encoded path is gone), while the
+// opportunistic variant delivers — the core claim of Section III-C2.
+func TestOpportunisticBeatsStrictUnderFailure(t *testing.T) {
+	deliveredWith := func(opportunistic bool) bool {
+		net := buildTele(t, ladder(), 43, func(cfg *experiment.Config) {
+			cfg.Tele.Opportunistic = opportunistic
+			cfg.Tele.Rescue = false
+		})
+		run(t, net, 4*time.Minute)
+		dst := radio.NodeID(7)
+		if !net.SinkTele().KnowsCode(dst) {
+			t.Skip("controller never learned node 7's code")
+		}
+		parent := net.Ctps[dst].Parent()
+		if parent == 0 {
+			t.Skip("node 7 parented directly to the sink")
+		}
+		net.KillNode(parent)
+		delivered := false
+		net.Teles[dst].SetDeliveredFn(func(op uint32, hops uint8) { delivered = true })
+		if _, err := net.SinkTele().SendControl(dst, "x", nil); err != nil {
+			t.Fatal(err)
+		}
+		run(t, net, 90*time.Second)
+		return delivered
+	}
+	if !deliveredWith(true) {
+		t.Fatal("opportunistic variant failed to deliver around the dead relay")
+	}
+	// The strict variant is EXPECTED to fail here; if it happens to
+	// deliver (the dead relay was not on the encoded path), that's not an
+	// error, so only assert the opportunistic success above and record
+	// the strict outcome.
+	strictOK := deliveredWith(false)
+	t.Logf("strict-path delivery around dead relay: %v", strictOK)
+}
+
+// TestDuplicateDeliveriesBounded: duplicate consumptions at the
+// destination must stay a small fraction of deliveries.
+func TestDuplicateDeliveriesBounded(t *testing.T) {
+	net := convergedLine(t, 5, 44, nil)
+	const packets = 10
+	for p := 0; p < packets; p++ {
+		dst := radio.NodeID(1 + p%4)
+		if _, err := net.SinkTele().SendControl(dst, p, nil); err != nil {
+			t.Fatal(err)
+		}
+		run(t, net, 15*time.Second)
+	}
+	var deliv, dup uint64
+	for _, te := range net.Teles {
+		s := te.Stats()
+		deliv += s.ControlDeliv
+		dup += s.ControlDupDeliv
+	}
+	if deliv < packets-1 {
+		t.Fatalf("delivered %d/%d", deliv, packets)
+	}
+	if dup > deliv {
+		t.Fatalf("duplicates (%d) exceed deliveries (%d)", dup, deliv)
+	}
+}

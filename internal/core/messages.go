@@ -1,0 +1,129 @@
+package core
+
+import (
+	"teleadjust/internal/radio"
+)
+
+// TeleExt is the TeleAdjusting state piggybacked on every CTP routing
+// beacon: the sender's path code, its child bit space, its own position at
+// its coding parent (position maintenance), and — while relevant — the
+// child position allocations (the "TeleAdjusting beacon" contents of
+// Algorithms 1–3).
+type TeleExt struct {
+	HasCode   bool
+	Code      PathCode
+	Depth     uint8
+	SpaceBits uint8
+	// Parent is the sender's coding parent (ctp.NoParent-equivalent
+	// radio.BroadcastID when none).
+	Parent radio.NodeID
+	// Position is the sender's allocated position at its coding parent
+	// (0 = none yet).
+	Position    uint16
+	Allocations []ChildEntry
+}
+
+// ExtSize returns the wire size contribution of the extension in bytes
+// (the length of its binary encoding).
+func (e *TeleExt) ExtSize() int { return len(MarshalExt(e)) }
+
+// PositionRequest asks the (coding) parent for a position (unicast).
+type PositionRequest struct{}
+
+// AllocationAck is the parent's unicast answer to a position request or a
+// detected inconsistency: the authoritative position plus everything the
+// child needs to compute its code immediately.
+type AllocationAck struct {
+	Position    uint16
+	SpaceBits   uint8
+	ParentCode  PathCode
+	ParentDepth uint8
+}
+
+// ConfirmFrame is the child's unicast confirmation of an allocation.
+type ConfirmFrame struct {
+	Position uint16
+}
+
+// Control is the downward remote-control packet. It travels as link-layer
+// anycast: the frame destination is broadcast and awake neighbors decide
+// acceptance by prefix matching (Section III-C).
+type Control struct {
+	// UID identifies this delivery attempt on the wire (the rescue path
+	// re-sends under a fresh UID so relays participate afresh).
+	UID uint32
+	// Op identifies the control operation end to end: it stays constant
+	// across rescue attempts, and the destination dedups and reports
+	// deliveries by it.
+	Op uint32
+	// Dst is the destination node and DstCode its path code.
+	Dst     radio.NodeID
+	DstCode PathCode
+	// Expected is the expected relay and ExpectedLen the qualification
+	// bar: a node relays if it (or a neighbor) matches the destination
+	// code with strictly more than ExpectedLen bits, or if it is Expected.
+	Expected    radio.NodeID
+	ExpectedLen uint8
+	// Detour marks the rescue path of Section III-C4: the packet is
+	// routed to Dst (a code-divergent neighbor of the real target), which
+	// then delivers directly to FinalDst.
+	Detour   bool
+	FinalDst radio.NodeID
+	// FinalLeg marks the direct unicast K→destination delivery.
+	FinalLeg bool
+	// Hops counts link transmissions travelled (ATHX bookkeeping).
+	Hops uint8
+	// App carries the operator's control parameters.
+	App any
+}
+
+// Feedback returns an undeliverable control packet to the previous upward
+// relay (backtracking, Section III-C3).
+type Feedback struct {
+	UID uint32
+	// FailedRelay is the node reporting unreachability.
+	FailedRelay radio.NodeID
+	Ctrl        *Control
+}
+
+// CodeReport is sent upward over CTP so the controller learns each node's
+// path code.
+type CodeReport struct {
+	Code  PathCode
+	Depth uint8
+}
+
+// E2EAck is the destination's end-to-end acknowledgement, sent upward over
+// CTP ("TeleAdjusting transmits the acknowledgement as a data packet").
+type E2EAck struct {
+	UID  uint32
+	From radio.NodeID
+	// Hops is the Hops count the control packet had on delivery.
+	Hops uint8
+}
+
+// AckRelay wraps an E2EAck handed to a neighbor for upward forwarding when
+// the destination received the packet on the rescue path (its own upward
+// path may be the blocked one).
+type AckRelay struct {
+	Ack E2EAck
+}
+
+// macHeaderBytes is the 802.15.4 MAC header + FCS overhead charged on
+// every data frame.
+const macHeaderBytes = 11
+
+// controlFrameSize computes the MAC frame size of a control packet from
+// its actual wire encoding.
+func controlFrameSize(c *Control) int {
+	return macHeaderBytes + len(MarshalControl(c))
+}
+
+// feedbackFrameSize computes the MAC frame size of a feedback packet.
+func feedbackFrameSize(fb *Feedback) int {
+	b, err := MarshalFeedback(fb)
+	if err != nil {
+		return macHeaderBytes
+	}
+	return macHeaderBytes + len(b)
+}

@@ -1,0 +1,176 @@
+// Package core implements TeleAdjusting, the paper's contribution: a
+// prefix-code addressing scheme built on the collection tree (every node's
+// path code extends its parent's code) plus an opportunistic downward
+// forwarding engine that delivers control packets from the sink to any
+// individual node along — and around — the encoded path.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxCodeBits bounds a path code's length. The paper measures ≤ 40 bits in
+// a 225-node tight grid and larger codes in sparse topologies; 255 bits is
+// far beyond any practical deployment depth.
+const MaxCodeBits = 255
+
+// PathCode is a variable-length big-endian bit string. The zero value is
+// the empty code. PathCode values are immutable once built; mutating
+// operations return new codes.
+type PathCode struct {
+	bits []byte
+	n    int // valid bits
+}
+
+// EmptyCode is the zero-length path code.
+var EmptyCode = PathCode{}
+
+// RootCode returns the sink's code: a single 0 bit ("path code length is
+// 1" in the paper).
+func RootCode() PathCode {
+	return PathCode{bits: []byte{0}, n: 1}
+}
+
+// CodeFromBits builds a code from a string of '0'/'1' runes (test helper
+// and debugging).
+func CodeFromBits(s string) (PathCode, error) {
+	if len(s) > MaxCodeBits {
+		return PathCode{}, fmt.Errorf("core: code %q exceeds %d bits", s, MaxCodeBits)
+	}
+	c := PathCode{bits: make([]byte, (len(s)+7)/8), n: len(s)}
+	for i, r := range s {
+		switch r {
+		case '1':
+			c.bits[i/8] |= 1 << (7 - i%8)
+		case '0':
+		default:
+			return PathCode{}, fmt.Errorf("core: invalid bit %q in %q", r, s)
+		}
+	}
+	return c, nil
+}
+
+// MustCode is CodeFromBits that panics on error (for tests and constants).
+func MustCode(s string) PathCode {
+	c, err := CodeFromBits(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of valid bits.
+func (c PathCode) Len() int { return c.n }
+
+// IsEmpty reports whether the code has no valid bits.
+func (c PathCode) IsEmpty() bool { return c.n == 0 }
+
+// Bit returns bit i (0-indexed from the front).
+func (c PathCode) Bit(i int) int {
+	if i < 0 || i >= c.n {
+		return 0
+	}
+	return int(c.bits[i/8]>>(7-i%8)) & 1
+}
+
+// Extend returns c followed by the width-bit big-endian encoding of
+// position. It errors when position does not fit in width bits or the
+// result would exceed MaxCodeBits.
+func (c PathCode) Extend(position uint16, width int) (PathCode, error) {
+	if width <= 0 || width > 16 {
+		return PathCode{}, fmt.Errorf("core: invalid position width %d", width)
+	}
+	if int(position) >= 1<<width {
+		return PathCode{}, fmt.Errorf("core: position %d does not fit in %d bits", position, width)
+	}
+	if c.n+width > MaxCodeBits {
+		return PathCode{}, fmt.Errorf("core: extending %d-bit code by %d exceeds limit", c.n, width)
+	}
+	out := PathCode{bits: make([]byte, (c.n+width+7)/8), n: c.n + width}
+	copy(out.bits, c.bits)
+	for i := 0; i < width; i++ {
+		bit := int(position>>(width-1-i)) & 1
+		if bit == 1 {
+			pos := c.n + i
+			out.bits[pos/8] |= 1 << (7 - pos%8)
+		}
+	}
+	return out, nil
+}
+
+// IsPrefixOf reports whether c's valid bits are a prefix of other's. The
+// empty code is a prefix of everything; a code is a prefix of itself.
+func (c PathCode) IsPrefixOf(other PathCode) bool {
+	if c.n > other.n {
+		return false
+	}
+	full := c.n / 8
+	for i := 0; i < full; i++ {
+		if c.bits[i] != other.bits[i] {
+			return false
+		}
+	}
+	if rem := c.n % 8; rem != 0 {
+		mask := byte(0xFF << (8 - rem))
+		if c.bits[full]&mask != other.bits[full]&mask {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports bitwise equality including length.
+func (c PathCode) Equal(other PathCode) bool {
+	return c.n == other.n && c.IsPrefixOf(other)
+}
+
+// CommonPrefixLen returns the length of the longest common prefix.
+func (c PathCode) CommonPrefixLen(other PathCode) int {
+	n := c.n
+	if other.n < n {
+		n = other.n
+	}
+	for i := 0; i < n; i++ {
+		if c.Bit(i) != other.Bit(i) {
+			return i
+		}
+	}
+	return n
+}
+
+// Prefix returns the first n bits of c as a new code.
+func (c PathCode) Prefix(n int) PathCode {
+	if n >= c.n {
+		return c
+	}
+	if n <= 0 {
+		return PathCode{}
+	}
+	out := PathCode{bits: make([]byte, (n+7)/8), n: n}
+	copy(out.bits, c.bits[:len(out.bits)])
+	if rem := n % 8; rem != 0 {
+		out.bits[len(out.bits)-1] &= 0xFF << (8 - rem)
+	}
+	return out
+}
+
+// SizeBytes returns the wire size of the code (length byte + bit payload).
+func (c PathCode) SizeBytes() int { return 1 + (c.n+7)/8 }
+
+// String renders the code as a bit string, e.g. "00101".
+func (c PathCode) String() string {
+	if c.n == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	b.Grow(c.n)
+	for i := 0; i < c.n; i++ {
+		if c.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

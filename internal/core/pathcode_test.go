@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"teleadjust/internal/sim"
+)
+
+func TestRootCode(t *testing.T) {
+	r := RootCode()
+	if r.Len() != 1 || r.Bit(0) != 0 {
+		t.Fatalf("root = %v, want single 0 bit", r)
+	}
+	if r.String() != "0" {
+		t.Fatalf("root string = %q", r.String())
+	}
+}
+
+func TestCodeFromBits(t *testing.T) {
+	c := MustCode("00101")
+	if c.Len() != 5 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.String() != "00101" {
+		t.Fatalf("string = %q", c.String())
+	}
+	if _, err := CodeFromBits("01x"); err == nil {
+		t.Fatal("invalid bit accepted")
+	}
+}
+
+func TestExtendMatchesPaperFigure2(t *testing.T) {
+	// Figure 2: S=0 (1 bit); A = S+position 1 in 2 bits = 001 (3 bits);
+	// M = S+position 2 = 010; B = A+position 01 in 2 bits = 00101 (5 bits).
+	s := RootCode()
+	a, err := s.Extend(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "001" {
+		t.Fatalf("A = %v, want 001", a)
+	}
+	m, err := s.Extend(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "010" {
+		t.Fatalf("M = %v, want 010", m)
+	}
+	b, err := a.Extend(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "00101" {
+		t.Fatalf("B = %v, want 00101", b)
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	c := RootCode()
+	if _, err := c.Extend(4, 2); err == nil {
+		t.Fatal("position overflow accepted")
+	}
+	if _, err := c.Extend(1, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := c.Extend(1, 17); err == nil {
+		t.Fatal("width > 16 accepted")
+	}
+	long := c
+	var err error
+	for long.Len()+16 <= MaxCodeBits {
+		long, err = long.Extend(1, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := long.Extend(1, 16); err == nil {
+		t.Fatal("code beyond MaxCodeBits accepted")
+	}
+}
+
+func TestPrefixRelations(t *testing.T) {
+	s := RootCode()
+	a, _ := s.Extend(1, 2)
+	b, _ := a.Extend(1, 2)
+	m, _ := s.Extend(2, 2)
+	if !s.IsPrefixOf(a) || !s.IsPrefixOf(b) || !a.IsPrefixOf(b) {
+		t.Fatal("ancestor codes must be prefixes of descendants")
+	}
+	if a.IsPrefixOf(m) || m.IsPrefixOf(a) {
+		t.Fatal("siblings must not be prefixes of each other")
+	}
+	if b.IsPrefixOf(a) {
+		t.Fatal("descendant is not a prefix of ancestor")
+	}
+	if !a.IsPrefixOf(a) {
+		t.Fatal("code must be a prefix of itself")
+	}
+	if !EmptyCode.IsPrefixOf(a) {
+		t.Fatal("empty code must be a universal prefix")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := MustCode("0101")
+	b := MustCode("0101")
+	c := MustCode("01010")
+	if !a.Equal(b) {
+		t.Fatal("equal codes not equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("different lengths compared equal")
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"0101", "0101", 4},
+		{"0101", "0100", 3},
+		{"0101", "1101", 0},
+		{"01", "0101", 2},
+		{"", "0101", 0},
+	}
+	for _, tt := range tests {
+		a, b := MustCode(tt.a), MustCode(tt.b)
+		if got := a.CommonPrefixLen(b); got != tt.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+		if got := b.CommonPrefixLen(a); got != tt.want {
+			t.Errorf("CommonPrefixLen(%q,%q) = %d, want %d", tt.b, tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixExtraction(t *testing.T) {
+	c := MustCode("0110100101")
+	p := c.Prefix(6)
+	if p.String() != "011010" {
+		t.Fatalf("Prefix(6) = %v", p)
+	}
+	if !p.IsPrefixOf(c) {
+		t.Fatal("extracted prefix not a prefix")
+	}
+	if c.Prefix(0).Len() != 0 || c.Prefix(20).Len() != 10 {
+		t.Fatal("prefix length clamping broken")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := MustCode("0").SizeBytes(); got != 2 {
+		t.Fatalf("1-bit size = %d, want 2", got)
+	}
+	if got := MustCode("010101010").SizeBytes(); got != 3 {
+		t.Fatalf("9-bit size = %d, want 3", got)
+	}
+	if got := EmptyCode.SizeBytes(); got != 1 {
+		t.Fatalf("empty size = %d, want 1", got)
+	}
+}
+
+// randomTreeCodes builds a random allocation tree and returns codes with
+// their parent relationships, for property testing.
+func randomTreeCodes(rng *rand.Rand, n int) (codes []PathCode, parent []int) {
+	codes = []PathCode{RootCode()}
+	parent = []int{-1}
+	// Each node's child space width is fixed at creation. (A live space
+	// extension re-encodes every existing child's code with the wider
+	// width — see space extension tests in the coding protocol — so for
+	// the static property we model post-extension trees directly.)
+	widths := []int{2}
+	childCount := []int{0}
+	for len(codes) < n {
+		p := rng.IntN(len(codes))
+		if childCount[p] >= (1<<widths[p])-1 {
+			continue // space full; pick another parent
+		}
+		childCount[p]++
+		c, err := codes[p].Extend(uint16(childCount[p]), widths[p])
+		if err != nil {
+			continue
+		}
+		codes = append(codes, c)
+		parent = append(parent, p)
+		widths = append(widths, 1+rng.IntN(3))
+		childCount = append(childCount, 0)
+	}
+	return codes, parent
+}
+
+// Property: in any allocation tree, codes are unique and the prefix
+// relation coincides exactly with the ancestor relation.
+func TestTreePrefixProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		codes, parent := randomTreeCodes(rng, 60)
+		isAncestor := func(a, d int) bool {
+			for d != -1 {
+				if d == a {
+					return true
+				}
+				d = parent[d]
+			}
+			return false
+		}
+		for i := range codes {
+			for j := range codes {
+				if i != j && codes[i].Equal(codes[j]) {
+					return false
+				}
+				want := isAncestor(i, j)
+				got := codes[i].IsPrefixOf(codes[j])
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Extend then Prefix round-trips the parent code.
+func TestExtendPrefixRoundTrip(t *testing.T) {
+	f := func(seed uint64, pos uint16, width uint8) bool {
+		w := int(width%16) + 1
+		p := uint16(uint32(pos) % (uint32(1) << w))
+		rng := sim.NewRNG(seed)
+		base := RootCode()
+		for i := 0; i < rng.IntN(10); i++ {
+			var err error
+			base, err = base.Extend(uint16(rng.IntN(4)), 2)
+			if err != nil {
+				return true // skip overly long
+			}
+		}
+		ext, err := base.Extend(p, w)
+		if err != nil {
+			return true
+		}
+		return ext.Prefix(base.Len()).Equal(base) && base.IsPrefixOf(ext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitOutOfRange(t *testing.T) {
+	c := MustCode("1")
+	if c.Bit(-1) != 0 || c.Bit(5) != 0 {
+		t.Fatal("out-of-range Bit should be 0")
+	}
+}

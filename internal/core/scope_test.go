@@ -1,0 +1,169 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/experiment"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/topology"
+)
+
+// TestScopeOneToAll: an empty scope reaches every coded node.
+func TestScopeOneToAll(t *testing.T) {
+	net := convergedLine(t, 5, 51, nil)
+	delivered := map[radio.NodeID]bool{}
+	for i := 1; i < 5; i++ {
+		id := radio.NodeID(i)
+		net.Teles[i].SetDeliveredFn(func(op uint32, hops uint8) { delivered[id] = true })
+	}
+	var res core.ScopeResult
+	got := false
+	if _, err := net.SinkTele().SendScopeControl(core.EmptyCode, "all-nodes", func(r core.ScopeResult) {
+		res = r
+		got = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, net, 90*time.Second)
+	if len(delivered) != 4 {
+		t.Fatalf("delivered to %d/4 nodes", len(delivered))
+	}
+	if !got {
+		t.Fatal("scope callback never fired")
+	}
+	if res.Expected != 4 || len(res.Acked) != 4 {
+		t.Fatalf("result %+v, want 4/4", res)
+	}
+	if res.Coverage() != 1 {
+		t.Fatalf("coverage %v", res.Coverage())
+	}
+}
+
+// TestScopeSubtreeOnly: scoping to a mid-chain node's code must reach only
+// that node's code subtree.
+func TestScopeSubtreeOnly(t *testing.T) {
+	// Y topology: two branches; scope one branch.
+	dep := &topology.Deployment{
+		Name: "y",
+		Positions: []topology.Point{
+			{X: 0, Y: 0},   // 0 sink
+			{X: 7, Y: 3},   // 1 branch A
+			{X: 14, Y: 6},  // 2 branch A deep
+			{X: 7, Y: -3},  // 3 branch B
+			{X: 14, Y: -6}, // 4 branch B deep
+		},
+		Sink: 0,
+	}
+	net := buildTele(t, dep, 52, nil)
+	run(t, net, 3*time.Minute)
+	code1, ok := net.Teles[1].Code()
+	if !ok {
+		t.Skip("codes did not converge")
+	}
+	// Scope = node 1's code. Expected members: node 1 and any node whose
+	// code extends it (node 2 if parented under 1).
+	want := map[radio.NodeID]bool{1: true}
+	if c2, ok := net.Teles[2].Code(); ok && code1.IsPrefixOf(c2) {
+		want[2] = true
+	}
+	delivered := map[radio.NodeID]bool{}
+	for i := 1; i < 5; i++ {
+		id := radio.NodeID(i)
+		net.Teles[i].SetDeliveredFn(func(op uint32, hops uint8) { delivered[id] = true })
+	}
+	var res core.ScopeResult
+	if _, err := net.SinkTele().SendScopeControl(code1, "branch-A", func(r core.ScopeResult) {
+		res = r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, net, 90*time.Second)
+	for id := range want {
+		if !delivered[id] {
+			t.Fatalf("member %d missed the scoped flood (delivered=%v)", id, delivered)
+		}
+	}
+	for id := range delivered {
+		if !want[id] {
+			t.Fatalf("non-member %d consumed the scoped flood (want=%v)", id, want)
+		}
+	}
+	if res.Expected != len(want) {
+		t.Fatalf("expected %d members, controller counted %d", len(want), res.Expected)
+	}
+}
+
+// TestScopeFromNonSink is rejected.
+func TestScopeFromNonSink(t *testing.T) {
+	net := buildTele(t, topology.Line(3, 7), 53, nil)
+	if _, err := net.Teles[1].SendScopeControl(core.EmptyCode, "x", nil); err == nil {
+		t.Fatal("non-sink scoped control accepted")
+	}
+}
+
+// TestScopeDedup: a member consumes each scoped operation exactly once
+// despite hearing many flood copies.
+func TestScopeDedup(t *testing.T) {
+	net := convergedLine(t, 4, 54, nil)
+	count := 0
+	net.Teles[2].SetDeliveredFn(func(op uint32, hops uint8) { count++ })
+	if _, err := net.SinkTele().SendScopeControl(core.EmptyCode, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	run(t, net, 90*time.Second)
+	if count != 1 {
+		t.Fatalf("member consumed %d times, want 1", count)
+	}
+}
+
+// TestScopeSurvivesBusyBottleneck: a degenerate topology where the whole
+// network hangs off one sink child (which is deaf much of the time,
+// streaming upward traffic). The flood's echo copies and the controller's
+// mid-timeout repair round must still reach most of the subtree.
+func TestScopeSurvivesBusyBottleneck(t *testing.T) {
+	dep := topology.Grid("field", 4, 6, 42, 28, true, topology.Point{}, 3)
+	net := buildTele(t, dep, 3, func(cfg *experiment.Config) {
+		cfg.Radio.ShadowSigmaDB = 1.0
+		cfg.Tele = core.DefaultConfig()
+	})
+	run(t, net, 5*time.Minute)
+	reg := net.SinkTele().Registry()
+	var scope core.PathCode
+	bestN := 0
+	for _, info := range reg {
+		if info.Code.Len() < 3 {
+			continue
+		}
+		p := info.Code.Prefix(3)
+		n := 0
+		for _, o := range reg {
+			if p.IsPrefixOf(o.Code) {
+				n++
+			}
+		}
+		if n > bestN {
+			bestN, scope = n, p
+		}
+	}
+	if bestN < 5 {
+		t.Skipf("largest subtree only %d members; topology did not concentrate", bestN)
+	}
+	var res core.ScopeResult
+	done := false
+	if _, err := net.SinkTele().SendScopeControl(scope, "x", func(r core.ScopeResult) {
+		res = r
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	run(t, net, 90*time.Second)
+	if !done {
+		t.Fatal("scoped operation never resolved")
+	}
+	if res.Coverage() < 0.6 {
+		t.Fatalf("coverage %.2f (%d/%d) through the bottleneck, want ≥0.6",
+			res.Coverage(), len(res.Acked), res.Expected)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+// Wire encoding for TeleAdjusting messages. The simulator passes Go values
+// in memory, but frame airtimes and the paper's RAM/ROM budget depend on
+// real on-air sizes, so every message has a binary encoding and the
+// simulator charges the encoded length. The format is little-endian with
+// length-prefixed path codes:
+//
+//	PathCode    := bitLen:u8 bytes:[ceil(bitLen/8)]u8
+//	TeleExt     := flags:u8 [code:PathCode] depth:u8 space:u8
+//	               parent:u16 position:u16 nAlloc:u8
+//	               nAlloc × (child:u16 position:u16 flags:u8)
+//	Control     := uid:u32 op:u32 dst:u16 code:PathCode expected:u16
+//	               expectedLen:u8 flags:u8 finalDst:u16 hops:u8
+//	Feedback    := uid:u32 failedRelay:u16 ctrl:Control
+//	CodeReport  := code:PathCode depth:u8
+//	E2EAck      := uid:u32 from:u16 hops:u8
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"teleadjust/internal/radio"
+)
+
+// ErrTruncated reports a wire buffer too short for the declared contents.
+var ErrTruncated = errors.New("core: truncated wire message")
+
+// AppendCode appends the wire form of a path code.
+func AppendCode(b []byte, c PathCode) []byte {
+	b = append(b, byte(c.n))
+	nbytes := (c.n + 7) / 8
+	for i := 0; i < nbytes; i++ {
+		if i < len(c.bits) {
+			b = append(b, c.bits[i])
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// DecodeCode parses a path code, returning it and the remaining buffer.
+func DecodeCode(b []byte) (PathCode, []byte, error) {
+	if len(b) < 1 {
+		return PathCode{}, nil, ErrTruncated
+	}
+	n := int(b[0])
+	nbytes := (n + 7) / 8
+	if len(b) < 1+nbytes {
+		return PathCode{}, nil, ErrTruncated
+	}
+	c := PathCode{n: n}
+	if nbytes > 0 {
+		c.bits = make([]byte, nbytes)
+		copy(c.bits, b[1:1+nbytes])
+		// Mask tail bits so equality semantics hold regardless of sender
+		// padding.
+		if rem := n % 8; rem != 0 {
+			c.bits[nbytes-1] &= 0xFF << (8 - rem)
+		}
+	}
+	return c, b[1+nbytes:], nil
+}
+
+const (
+	extFlagHasCode = 1 << 0
+
+	ctrlFlagDetour   = 1 << 0
+	ctrlFlagFinalLeg = 1 << 1
+)
+
+// MarshalExt encodes the beacon extension.
+func MarshalExt(e *TeleExt) []byte {
+	b := make([]byte, 0, 8+e.Code.SizeBytes()+5*len(e.Allocations))
+	var flags byte
+	if e.HasCode {
+		flags |= extFlagHasCode
+	}
+	b = append(b, flags)
+	if e.HasCode {
+		b = AppendCode(b, e.Code)
+	}
+	b = append(b, e.Depth, e.SpaceBits)
+	b = binary.LittleEndian.AppendUint16(b, uint16(e.Parent))
+	b = binary.LittleEndian.AppendUint16(b, e.Position)
+	if len(e.Allocations) > 255 {
+		panic("core: too many allocations for wire format")
+	}
+	b = append(b, byte(len(e.Allocations)))
+	for _, a := range e.Allocations {
+		b = binary.LittleEndian.AppendUint16(b, uint16(a.Child))
+		b = binary.LittleEndian.AppendUint16(b, a.Position)
+		var f byte
+		if a.Confirmed {
+			f = 1
+		}
+		b = append(b, f)
+	}
+	return b
+}
+
+// UnmarshalExt decodes a beacon extension.
+func UnmarshalExt(b []byte) (*TeleExt, error) {
+	if len(b) < 1 {
+		return nil, ErrTruncated
+	}
+	e := &TeleExt{}
+	flags := b[0]
+	b = b[1:]
+	if flags&extFlagHasCode != 0 {
+		var err error
+		e.HasCode = true
+		e.Code, b, err = DecodeCode(b)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(b) < 7 {
+		return nil, ErrTruncated
+	}
+	e.Depth = b[0]
+	e.SpaceBits = b[1]
+	e.Parent = radio.NodeID(binary.LittleEndian.Uint16(b[2:]))
+	e.Position = binary.LittleEndian.Uint16(b[4:])
+	n := int(b[6])
+	b = b[7:]
+	if len(b) < 5*n {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		e.Allocations = append(e.Allocations, ChildEntry{
+			Child:     radio.NodeID(binary.LittleEndian.Uint16(b)),
+			Position:  binary.LittleEndian.Uint16(b[2:]),
+			Confirmed: b[4] != 0,
+		})
+		b = b[5:]
+	}
+	return e, nil
+}
+
+// MarshalControl encodes a control packet.
+func MarshalControl(c *Control) []byte {
+	b := make([]byte, 0, 18+c.DstCode.SizeBytes())
+	b = binary.LittleEndian.AppendUint32(b, c.UID)
+	b = binary.LittleEndian.AppendUint32(b, c.Op)
+	b = binary.LittleEndian.AppendUint16(b, uint16(c.Dst))
+	b = AppendCode(b, c.DstCode)
+	b = binary.LittleEndian.AppendUint16(b, uint16(c.Expected))
+	b = append(b, c.ExpectedLen)
+	var flags byte
+	if c.Detour {
+		flags |= ctrlFlagDetour
+	}
+	if c.FinalLeg {
+		flags |= ctrlFlagFinalLeg
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint16(b, uint16(c.FinalDst))
+	b = append(b, c.Hops)
+	return b
+}
+
+// UnmarshalControl decodes a control packet (the App payload is carried
+// out of band in the simulator).
+func UnmarshalControl(b []byte) (*Control, error) {
+	if len(b) < 10 {
+		return nil, ErrTruncated
+	}
+	c := &Control{
+		UID: binary.LittleEndian.Uint32(b),
+		Op:  binary.LittleEndian.Uint32(b[4:]),
+		Dst: radio.NodeID(binary.LittleEndian.Uint16(b[8:])),
+	}
+	var err error
+	c.DstCode, b, err = DecodeCode(b[10:])
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < 7 {
+		return nil, ErrTruncated
+	}
+	c.Expected = radio.NodeID(binary.LittleEndian.Uint16(b))
+	c.ExpectedLen = b[2]
+	c.Detour = b[3]&ctrlFlagDetour != 0
+	c.FinalLeg = b[3]&ctrlFlagFinalLeg != 0
+	c.FinalDst = radio.NodeID(binary.LittleEndian.Uint16(b[4:]))
+	c.Hops = b[6]
+	return c, nil
+}
+
+// MarshalFeedback encodes a feedback packet.
+func MarshalFeedback(fb *Feedback) ([]byte, error) {
+	if fb.Ctrl == nil {
+		return nil, fmt.Errorf("core: feedback without control payload")
+	}
+	b := make([]byte, 0, 6+18+fb.Ctrl.DstCode.SizeBytes())
+	b = binary.LittleEndian.AppendUint32(b, fb.UID)
+	b = binary.LittleEndian.AppendUint16(b, uint16(fb.FailedRelay))
+	b = append(b, MarshalControl(fb.Ctrl)...)
+	return b, nil
+}
+
+// UnmarshalFeedback decodes a feedback packet.
+func UnmarshalFeedback(b []byte) (*Feedback, error) {
+	if len(b) < 6 {
+		return nil, ErrTruncated
+	}
+	fb := &Feedback{
+		UID:         binary.LittleEndian.Uint32(b),
+		FailedRelay: radio.NodeID(binary.LittleEndian.Uint16(b[4:])),
+	}
+	ctrl, err := UnmarshalControl(b[6:])
+	if err != nil {
+		return nil, err
+	}
+	fb.Ctrl = ctrl
+	return fb, nil
+}
+
+// MarshalCodeReport encodes a code report.
+func MarshalCodeReport(r *CodeReport) []byte {
+	b := make([]byte, 0, 1+r.Code.SizeBytes())
+	b = AppendCode(b, r.Code)
+	b = append(b, r.Depth)
+	return b
+}
+
+// UnmarshalCodeReport decodes a code report.
+func UnmarshalCodeReport(b []byte) (*CodeReport, error) {
+	code, rest, err := DecodeCode(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 1 {
+		return nil, ErrTruncated
+	}
+	return &CodeReport{Code: code, Depth: rest[0]}, nil
+}
+
+// MarshalE2EAck encodes an end-to-end acknowledgement.
+func MarshalE2EAck(a *E2EAck) []byte {
+	b := make([]byte, 0, 7)
+	b = binary.LittleEndian.AppendUint32(b, a.UID)
+	b = binary.LittleEndian.AppendUint16(b, uint16(a.From))
+	b = append(b, a.Hops)
+	return b
+}
+
+// UnmarshalE2EAck decodes an end-to-end acknowledgement.
+func UnmarshalE2EAck(b []byte) (*E2EAck, error) {
+	if len(b) < 7 {
+		return nil, ErrTruncated
+	}
+	return &E2EAck{
+		UID:  binary.LittleEndian.Uint32(b),
+		From: radio.NodeID(binary.LittleEndian.Uint16(b[4:])),
+		Hops: b[6],
+	}, nil
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+)
+
+func randomCode(seed uint64) PathCode {
+	rng := sim.NewRNG(seed)
+	c := RootCode()
+	depth := rng.IntN(12)
+	for i := 0; i < depth; i++ {
+		w := 1 + rng.IntN(4)
+		pos := uint16(1 + rng.IntN((1<<w)-1))
+		next, err := c.Extend(pos, w)
+		if err != nil {
+			break
+		}
+		c = next
+	}
+	return c
+}
+
+func TestCodeWireRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := randomCode(seed)
+		b := AppendCode(nil, c)
+		got, rest, err := DecodeCode(b)
+		return err == nil && len(rest) == 0 && got.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodeWireEmptyAndTruncated(t *testing.T) {
+	b := AppendCode(nil, EmptyCode)
+	got, rest, err := DecodeCode(b)
+	if err != nil || len(rest) != 0 || !got.Equal(EmptyCode) {
+		t.Fatalf("empty round trip: %v %v %v", got, rest, err)
+	}
+	if _, _, err := DecodeCode(nil); err != ErrTruncated {
+		t.Fatalf("nil buffer error = %v", err)
+	}
+	if _, _, err := DecodeCode([]byte{16, 0x00}); err != ErrTruncated {
+		t.Fatalf("short payload error = %v", err)
+	}
+}
+
+func TestCodeWireTailMasking(t *testing.T) {
+	// Garbage in the padding bits must not affect equality after decode.
+	c := MustCode("101")
+	b := AppendCode(nil, c)
+	b[1] |= 0x1F // dirty the 5 padding bits
+	got, _, err := DecodeCode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(c) {
+		t.Fatalf("decoded %v != %v despite tail masking", got, c)
+	}
+}
+
+func TestExtWireRoundTrip(t *testing.T) {
+	f := func(seed uint64, depth, space uint8, parent, pos uint16, nAlloc uint8) bool {
+		e := &TeleExt{
+			HasCode:   seed%2 == 0,
+			Code:      randomCode(seed),
+			Depth:     depth,
+			SpaceBits: space,
+			Parent:    radio.NodeID(parent),
+			Position:  pos,
+		}
+		if !e.HasCode {
+			e.Code = PathCode{}
+		}
+		for i := 0; i < int(nAlloc%6); i++ {
+			e.Allocations = append(e.Allocations, ChildEntry{
+				Child:     radio.NodeID(i + 1),
+				Position:  uint16(i + 1),
+				Confirmed: i%2 == 0,
+			})
+		}
+		b := MarshalExt(e)
+		if len(b) != e.ExtSize() {
+			return false
+		}
+		got, err := UnmarshalExt(b)
+		if err != nil {
+			return false
+		}
+		if got.HasCode != e.HasCode || !got.Code.Equal(e.Code) ||
+			got.Depth != e.Depth || got.SpaceBits != e.SpaceBits ||
+			got.Parent != e.Parent || got.Position != e.Position ||
+			len(got.Allocations) != len(e.Allocations) {
+			return false
+		}
+		for i := range e.Allocations {
+			if got.Allocations[i] != e.Allocations[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlWireRoundTrip(t *testing.T) {
+	f := func(seed uint64, uid, op uint32, dst, exp, fin uint16, el, hops uint8, detour, final bool) bool {
+		c := &Control{
+			UID:         uid,
+			Op:          op,
+			Dst:         radio.NodeID(dst),
+			DstCode:     randomCode(seed),
+			Expected:    radio.NodeID(exp),
+			ExpectedLen: el,
+			Detour:      detour,
+			FinalLeg:    final,
+			FinalDst:    radio.NodeID(fin),
+			Hops:        hops,
+		}
+		got, err := UnmarshalControl(MarshalControl(c))
+		if err != nil {
+			return false
+		}
+		return got.UID == c.UID && got.Op == c.Op && got.Dst == c.Dst &&
+			got.DstCode.Equal(c.DstCode) && got.Expected == c.Expected &&
+			got.ExpectedLen == c.ExpectedLen && got.Detour == c.Detour &&
+			got.FinalLeg == c.FinalLeg && got.FinalDst == c.FinalDst &&
+			got.Hops == c.Hops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedbackWireRoundTrip(t *testing.T) {
+	fb := &Feedback{
+		UID:         99,
+		FailedRelay: 12,
+		Ctrl: &Control{
+			UID:     99,
+			Op:      99,
+			Dst:     5,
+			DstCode: MustCode("0010101"),
+			Hops:    3,
+		},
+	}
+	b, err := MarshalFeedback(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalFeedback(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UID != fb.UID || got.FailedRelay != fb.FailedRelay ||
+		!got.Ctrl.DstCode.Equal(fb.Ctrl.DstCode) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if _, err := MarshalFeedback(&Feedback{}); err == nil {
+		t.Fatal("feedback without control accepted")
+	}
+	if _, err := UnmarshalFeedback([]byte{1, 2}); err != ErrTruncated {
+		t.Fatalf("truncated error = %v", err)
+	}
+}
+
+func TestCodeReportAndAckWire(t *testing.T) {
+	r := &CodeReport{Code: MustCode("00101"), Depth: 2}
+	gotR, err := UnmarshalCodeReport(MarshalCodeReport(r))
+	if err != nil || !gotR.Code.Equal(r.Code) || gotR.Depth != 2 {
+		t.Fatalf("code report round trip: %+v %v", gotR, err)
+	}
+	a := &E2EAck{UID: 7, From: 3, Hops: 4}
+	gotA, err := UnmarshalE2EAck(MarshalE2EAck(a))
+	if err != nil || *gotA != *a {
+		t.Fatalf("ack round trip: %+v %v", gotA, err)
+	}
+	if _, err := UnmarshalE2EAck([]byte{1}); err != ErrTruncated {
+		t.Fatalf("truncated ack error = %v", err)
+	}
+	if _, err := UnmarshalCodeReport(nil); err != ErrTruncated {
+		t.Fatalf("truncated report error = %v", err)
+	}
+}
+
+func TestControlSizeTracksCodeLength(t *testing.T) {
+	short := &Control{DstCode: MustCode("001")}
+	long := &Control{DstCode: MustCode("0010101010101010101010101")}
+	if controlFrameSize(long) <= controlFrameSize(short) {
+		t.Fatal("frame size must grow with the destination code")
+	}
+	// The paper's premise: even deep destinations address in a few bytes.
+	if s := controlFrameSize(long); s > 40 {
+		t.Fatalf("25-bit-code control frame is %d bytes; should stay compact", s)
+	}
+}
+
+func TestUnmarshalExtTruncations(t *testing.T) {
+	e := &TeleExt{HasCode: true, Code: MustCode("00101"), Parent: 1, Position: 2,
+		Allocations: []ChildEntry{{Child: 9, Position: 1}}}
+	b := MarshalExt(e)
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := UnmarshalExt(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

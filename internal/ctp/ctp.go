@@ -1,0 +1,665 @@
+// Package ctp implements a Collection Tree Protocol substrate in the style
+// of Gnawali et al. (SenSys 2009): ETX-gradient routing with a hybrid link
+// estimator, Trickle-paced routing beacons, parent selection with
+// hysteresis, and an upward (anycast-free, strictly parent-directed) data
+// plane. TeleAdjusting consumes the tree through the hooks exposed here:
+// parent-change events, received-beacon events, and beacon piggybacking.
+package ctp
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"teleadjust/internal/linkest"
+	"teleadjust/internal/mac"
+	"teleadjust/internal/node"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/trickle"
+)
+
+// NoParent marks the absence of a parent.
+const NoParent radio.NodeID = radio.BroadcastID
+
+// Beacon is the routing beacon message (broadcast, unacknowledged).
+type Beacon struct {
+	Seq     uint32
+	PathETX float64
+	Parent  radio.NodeID
+	Hops    uint8
+	// Ext carries piggybacked payload from other protocols (TeleAdjusting
+	// attaches position-allocation state here).
+	Ext any
+}
+
+// NoAck marks beacons as pure broadcasts for the MAC.
+func (Beacon) NoAck() bool { return true }
+
+// Data is an upward data-plane message addressed to the sink.
+type Data struct {
+	Origin    radio.NodeID
+	OriginSeq uint32
+	THL       uint8 // time-has-lived (hops travelled)
+	App       any
+}
+
+// Config holds CTP parameters.
+type Config struct {
+	Beacon                trickle.Config
+	Est                   linkest.Config
+	ParentSwitchThreshold float64
+	MaxDataRetries        int
+	MaxTHL                uint8
+	BeaconSize            int
+	DataSize              int
+	EvalInterval          time.Duration
+	// MaxPathETX invalidates routes whose cost exceeds it — the bound
+	// that stops count-to-infinity among partitioned nodes.
+	MaxPathETX float64
+	// HelpBeaconDelta is the adaptive-beaconing trigger (CTP §4.3): when
+	// a neighbor advertises a cost this much above ours, our gradient
+	// information would help it (it is orphaned, looping, or at the
+	// construction frontier), so the beacon timer resets. Must exceed the
+	// typical one-hop cost delta or dense networks beacon perpetually.
+	// 0 disables (orphan beacons still reset).
+	HelpBeaconDelta float64
+	// CostChangeDelta triggers an early beacon when our own advertised
+	// cost has drifted this far since the last beacon — the mechanism
+	// that makes routing-loop costs spiral quickly to the validity bound.
+	// 0 disables.
+	CostChangeDelta float64
+	// DupLoopTHLDelta is the datapath loop detector's sensitivity: a
+	// duplicate data packet arriving from a different neighbor with at
+	// least this many extra hops breaks the route. 0 treats ANY
+	// cross-sender duplicate as loop evidence — aggressive healing for
+	// large static fields where loops starve their own detection traffic;
+	// too twitchy under link fading (alternate-path duplicates after lost
+	// acks are routine there).
+	DupLoopTHLDelta uint8
+}
+
+// DefaultConfig returns TinyOS-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		Beacon:                trickle.DefaultConfig(),
+		Est:                   linkest.DefaultConfig(),
+		ParentSwitchThreshold: 1.5,
+		MaxDataRetries:        3,
+		MaxTHL:                32,
+		BeaconSize:            20,
+		DataSize:              28,
+		EvalInterval:          time.Second,
+		MaxPathETX:            100,
+		DupLoopTHLDelta:       3,
+		// Help beacons are off by default: under link fading the
+		// "neighbor looks worse than me" condition fires routinely and
+		// the resulting beacon storms congest the channel. Large
+		// low-dynamics fields (the 225-node simulation scenarios) enable
+		// it to accelerate frontier construction.
+		HelpBeaconDelta: 0,
+		CostChangeDelta: 6,
+	}
+}
+
+// Stats counts CTP data-plane outcomes at this node.
+type Stats struct {
+	Originated    uint64
+	Forwarded     uint64
+	DeliveredSink uint64
+	DroppedRetry  uint64
+	DroppedNoTree uint64
+	DroppedTHL    uint64
+	DroppedDup    uint64
+}
+
+type neighborAd struct {
+	pathETX float64
+	parent  radio.NodeID
+	hops    uint8
+	heardAt time.Duration
+}
+
+type pendingData struct {
+	data    *Data
+	retries int
+}
+
+type dedupKey struct {
+	origin radio.NodeID
+	seq    uint32
+}
+
+// seenEntry records when a data packet was first handled, which
+// downstream neighbor delivered it, and its hop count at that moment. A
+// later copy that has accumulated additional hops circled back through
+// the network — datapath loop evidence. (A copy from a different sender
+// at the SAME depth is just an alternate-path duplicate after a lost
+// ack.)
+type seenEntry struct {
+	at   time.Duration
+	from radio.NodeID
+	thl  uint8
+}
+
+// CTP is one node's collection protocol instance.
+type CTP struct {
+	node   *node.Node
+	eng    *sim.Engine
+	cfg    Config
+	rng    *rand.Rand
+	isSink bool
+
+	est     *linkest.Estimator
+	beacons *trickle.Timer
+	evalTk  *sim.Ticker
+
+	ads map[radio.NodeID]*neighborAd
+
+	parent  radio.NodeID
+	pathETX float64
+	hops    uint8
+	// lastAdvertisedETX is the cost carried by our most recent beacon;
+	// a material drift triggers an early beacon (CTP's "significant cost
+	// change" rule, the mechanism that lets loop costs spiral quickly).
+	lastAdvertisedETX float64
+
+	beaconSeq uint32
+	dataSeq   uint32
+	seen      map[dedupKey]seenEntry
+	inflight  map[*radio.Frame]*pendingData
+
+	onParentChange []func(old, new radio.NodeID)
+	onBeaconRecv   []func(from radio.NodeID, b *Beacon)
+	beaconExt      func() any
+	onDeliver      func(origin radio.NodeID, app any)
+
+	stats Stats
+}
+
+var _ node.Protocol = (*CTP)(nil)
+
+// New creates a CTP instance on the node and registers it. Call Start to
+// begin beaconing.
+func New(n *node.Node, cfg Config, rng *rand.Rand, isSink bool) *CTP {
+	c := &CTP{
+		node:              n,
+		eng:               n.Engine(),
+		cfg:               cfg,
+		rng:               rng,
+		isSink:            isSink,
+		est:               linkest.New(cfg.Est),
+		ads:               make(map[radio.NodeID]*neighborAd),
+		parent:            NoParent,
+		pathETX:           math.Inf(1),
+		lastAdvertisedETX: math.Inf(1),
+		seen:              make(map[dedupKey]seenEntry),
+		inflight:          make(map[*radio.Frame]*pendingData),
+	}
+	if isSink {
+		c.pathETX = 0
+		c.hops = 0
+	}
+	c.beacons = trickle.New(c.eng, cfg.Beacon, rng, c.sendBeacon)
+	c.evalTk = sim.NewTicker(c.eng, cfg.EvalInterval, c.evaluate)
+	n.Register(c)
+	return c
+}
+
+// Start begins beaconing and periodic parent evaluation.
+func (c *CTP) Start() {
+	c.beacons.Start()
+	c.evalTk.Start()
+}
+
+// Stop halts timers.
+func (c *CTP) Stop() {
+	c.beacons.Stop()
+	c.evalTk.Stop()
+}
+
+// --- Introspection and hooks ---
+
+// Parent returns the current parent (NoParent if none).
+func (c *CTP) Parent() radio.NodeID { return c.parent }
+
+// PathETX returns the advertised path ETX (0 at the sink, +Inf when
+// unattached).
+func (c *CTP) PathETX() float64 { return c.pathETX }
+
+// Hops returns the advertised hop distance to the sink.
+func (c *CTP) Hops() uint8 { return c.hops }
+
+// HasRoute reports whether the node is attached to the tree.
+func (c *CTP) HasRoute() bool { return c.isSink || c.parent != NoParent }
+
+// IsSink reports whether this node is the collection root.
+func (c *CTP) IsSink() bool { return c.isSink }
+
+// Estimator exposes the link estimator (read-mostly; shared with
+// TeleAdjusting's relay decisions).
+func (c *CTP) Estimator() *linkest.Estimator { return c.est }
+
+// NeighborAd returns the last routing advertisement heard from a neighbor.
+func (c *CTP) NeighborAd(id radio.NodeID) (pathETX float64, parent radio.NodeID, hops uint8, ok bool) {
+	ad, found := c.ads[id]
+	if !found {
+		return 0, NoParent, 0, false
+	}
+	return ad.pathETX, ad.parent, ad.hops, true
+}
+
+// OnParentChange registers a callback fired when the parent changes
+// (old == NoParent on first attachment — the paper's "routing found
+// event").
+func (c *CTP) OnParentChange(fn func(old, new radio.NodeID)) {
+	c.onParentChange = append(c.onParentChange, fn)
+}
+
+// OnBeaconReceived registers a callback fired for every received beacon.
+func (c *CTP) OnBeaconReceived(fn func(from radio.NodeID, b *Beacon)) {
+	c.onBeaconRecv = append(c.onBeaconRecv, fn)
+}
+
+// SetBeaconExt installs the piggyback provider called when a beacon is
+// about to be sent.
+func (c *CTP) SetBeaconExt(fn func() any) { c.beaconExt = fn }
+
+// SetDeliverFunc installs the sink-side application delivery callback.
+func (c *CTP) SetDeliverFunc(fn func(origin radio.NodeID, app any)) { c.onDeliver = fn }
+
+// TriggerBeacon resets the Trickle timer, forcing a beacon soon.
+func (c *CTP) TriggerBeacon() { c.beacons.Reset() }
+
+// ReportLinkOutcome feeds a unicast outcome observed by another protocol
+// (RPL DAOs, TeleAdjusting position frames) into the link estimator, so
+// asymmetric links are detected even without CTP data traffic, and
+// re-evaluates the parent.
+func (c *CTP) ReportLinkOutcome(to radio.NodeID, acked bool) {
+	c.est.OnDataOutcome(to, acked, c.eng.Now())
+	c.evaluate()
+}
+
+// Stats returns a copy of the data-plane statistics.
+func (c *CTP) Stats() Stats { return c.stats }
+
+// --- Beaconing ---
+
+func (c *CTP) sendBeacon() {
+	// A beacon queued behind other traffic would be stale by the time it
+	// airs (LPL sends take up to a wake interval each); skip and let
+	// Trickle fire again. TinyOS CTP has a single beacon buffer for the
+	// same reason.
+	if c.node.MAC().Busy() || c.node.MAC().QueueLen() > 0 {
+		return
+	}
+	c.beaconSeq++
+	c.lastAdvertisedETX = c.pathETX
+	b := &Beacon{
+		Seq:     c.beaconSeq,
+		PathETX: c.pathETX,
+		Parent:  c.parent,
+		Hops:    c.hops,
+	}
+	size := c.cfg.BeaconSize
+	if c.beaconExt != nil {
+		b.Ext = c.beaconExt()
+		if s, ok := b.Ext.(interface{ ExtSize() int }); ok {
+			size += s.ExtSize()
+		}
+	}
+	f := &radio.Frame{
+		Kind:    radio.FrameData,
+		Dst:     radio.BroadcastID,
+		Size:    size,
+		Payload: b,
+	}
+	// Best effort; a full queue just delays topology convergence.
+	_ = c.node.Send(f)
+}
+
+func (c *CTP) handleBeacon(from radio.NodeID, b *Beacon) {
+	now := c.eng.Now()
+	c.est.OnBeacon(from, b.Seq, now)
+	ad, ok := c.ads[from]
+	if !ok {
+		ad = &neighborAd{}
+		c.ads[from] = ad
+	}
+	ad.pathETX = b.PathETX
+	ad.parent = b.Parent
+	ad.hops = b.Hops
+	ad.heardAt = now
+	// Trickle consistency (adaptive beaconing): hearing a node whose cost
+	// is far above ours — orphaned, looping, or at the construction
+	// frontier — means our gradient information would help it, so beacon
+	// soon. Routine beacons must NOT reset the timer, or churn feeds a
+	// beacon storm that congests the channel and causes more churn.
+	myCost := c.pathETX
+	switch {
+	case c.HasRoute() && (math.IsInf(b.PathETX, 1) ||
+		(c.cfg.HelpBeaconDelta > 0 && b.PathETX > myCost+c.cfg.HelpBeaconDelta)):
+		c.beacons.Reset()
+	case !c.HasRoute() && !math.IsInf(b.PathETX, 1):
+		// Orphan side of the same exchange: a routed neighbor is in
+		// range, so advertise the need eagerly until attached. (Beacons
+		// from fellow orphans must NOT reset, or a large unattached
+		// region jams its own channel at the minimum interval.)
+		c.beacons.Reset()
+	default:
+		c.beacons.Hear()
+	}
+	c.evaluate()
+	for _, fn := range c.onBeaconRecv {
+		fn(from, b)
+	}
+}
+
+// evaluate runs parent selection.
+func (c *CTP) evaluate() {
+	if c.isSink {
+		return
+	}
+	type candidate struct {
+		id   radio.NodeID
+		cost float64
+	}
+	best := candidate{id: NoParent, cost: math.Inf(1)}
+	for _, id := range c.est.Neighbors() {
+		ad, ok := c.ads[id]
+		if !ok || math.IsInf(ad.pathETX, 1) {
+			continue
+		}
+		if ad.parent == c.node.ID() {
+			continue // immediate loop
+		}
+		if ad.hops >= c.cfg.MaxTHL {
+			continue // advertised depth only gets there inside a loop
+		}
+		cost := c.est.ETX(id) + ad.pathETX
+		if cost >= c.cfg.MaxPathETX {
+			continue // beyond the valid-route bound
+		}
+		if cost < best.cost {
+			best = candidate{id: id, cost: cost}
+		}
+	}
+	if best.id == NoParent {
+		// No usable candidate. Our own cost must still track the current
+		// parent's advertisements — a stale self-cost is what lets
+		// routing loops persist — and blow-ups past the validity bound
+		// (count-to-infinity among partitioned nodes) detach.
+		if c.parent != NoParent {
+			if c.currentCost() >= c.cfg.MaxPathETX {
+				c.detach()
+				return
+			}
+			c.refreshCost()
+		}
+		return
+	}
+	switch {
+	case c.parent == NoParent:
+		c.adopt(best.id, best.cost)
+	case best.id != c.parent:
+		cur := c.currentCost()
+		if best.cost+c.cfg.ParentSwitchThreshold < cur {
+			c.adopt(best.id, best.cost)
+		} else if cur >= c.cfg.MaxPathETX {
+			c.adopt(best.id, best.cost)
+		} else {
+			c.refreshCost()
+		}
+	default:
+		if c.currentCost() >= c.cfg.MaxPathETX {
+			c.detach()
+			return
+		}
+		c.refreshCost()
+	}
+}
+
+// detach abandons the current route: the node advertises itself as
+// unattached until a valid candidate appears.
+func (c *CTP) detach() {
+	old := c.parent
+	c.parent = NoParent
+	c.pathETX = math.Inf(1)
+	c.beacons.Reset()
+	for _, fn := range c.onParentChange {
+		fn(old, NoParent)
+	}
+}
+
+// currentCost recomputes the cost through the current parent.
+func (c *CTP) currentCost() float64 {
+	if c.parent == NoParent {
+		return math.Inf(1)
+	}
+	ad, ok := c.ads[c.parent]
+	if !ok {
+		return math.Inf(1)
+	}
+	etx := c.est.ETX(c.parent)
+	if etx == linkest.UnknownETX {
+		return math.Inf(1)
+	}
+	return etx + ad.pathETX
+}
+
+func (c *CTP) refreshCost() {
+	cost := c.currentCost()
+	if math.IsInf(cost, 1) {
+		return
+	}
+	c.pathETX = cost
+	if c.cfg.CostChangeDelta > 0 && !math.IsInf(c.lastAdvertisedETX, 1) &&
+		math.Abs(cost-c.lastAdvertisedETX) > c.cfg.CostChangeDelta {
+		c.beacons.Reset()
+	}
+	if ad, ok := c.ads[c.parent]; ok {
+		if ad.hops >= c.cfg.MaxTHL {
+			// Hop counts only grow like this inside a routing loop
+			// (each trip around the cycle adds one): break it by
+			// detaching; the orphan/help beacon exchange rebuilds a
+			// real route.
+			c.detach()
+			return
+		}
+		c.hops = ad.hops + 1
+	}
+}
+
+func (c *CTP) adopt(id radio.NodeID, cost float64) {
+	old := c.parent
+	c.parent = id
+	c.pathETX = cost
+	if ad, ok := c.ads[id]; ok {
+		c.hops = ad.hops + 1
+	}
+	c.beacons.Reset()
+	for _, fn := range c.onParentChange {
+		fn(old, id)
+	}
+}
+
+// --- Data plane ---
+
+// SendToSink originates an upward data packet carrying app.
+func (c *CTP) SendToSink(app any) error {
+	c.dataSeq++
+	d := &Data{
+		Origin:    c.node.ID(),
+		OriginSeq: c.dataSeq,
+		App:       app,
+	}
+	c.stats.Originated++
+	if c.isSink {
+		c.stats.DeliveredSink++
+		if c.onDeliver != nil {
+			c.onDeliver(d.Origin, d.App)
+		}
+		return nil
+	}
+	return c.forward(d)
+}
+
+func (c *CTP) forward(d *Data) error {
+	if c.parent == NoParent {
+		c.stats.DroppedNoTree++
+		return fmt.Errorf("ctp %d: no route to sink", c.node.ID())
+	}
+	f := &radio.Frame{
+		Kind:    radio.FrameData,
+		Dst:     c.parent,
+		Size:    c.cfg.DataSize,
+		Payload: d,
+	}
+	c.inflight[f] = &pendingData{data: d, retries: c.cfg.MaxDataRetries}
+	if err := c.node.Send(f); err != nil {
+		delete(c.inflight, f)
+		c.stats.DroppedRetry++
+		return err
+	}
+	return nil
+}
+
+// --- node.Protocol implementation ---
+
+// Owns implements node.Protocol.
+func (c *CTP) Owns(payload any) bool {
+	switch payload.(type) {
+	case *Beacon, *Data:
+		return true
+	}
+	return false
+}
+
+// Classify implements node.Protocol.
+func (c *CTP) Classify(f *radio.Frame) mac.Classification {
+	switch f.Payload.(type) {
+	case *Beacon:
+		return mac.Classification{Decision: mac.Deliver}
+	case *Data:
+		if f.Dst == c.node.ID() {
+			return mac.Classification{Decision: mac.AckAndDeliver}
+		}
+	}
+	return mac.Classification{Decision: mac.Ignore}
+}
+
+// Deliver implements node.Protocol.
+func (c *CTP) Deliver(f *radio.Frame) {
+	switch p := f.Payload.(type) {
+	case *Beacon:
+		c.handleBeacon(f.Src, p)
+	case *Data:
+		c.handleData(f.Src, p)
+	}
+}
+
+func (c *CTP) handleData(from radio.NodeID, d *Data) {
+	c.gcSeen()
+	if d.Origin == c.node.ID() && !c.isSink {
+		// Our own packet came back to us: unambiguous routing loop.
+		c.stats.DroppedDup++
+		if c.parent != NoParent {
+			c.detach()
+		}
+		return
+	}
+	key := dedupKey{origin: d.Origin, seq: d.OriginSeq}
+	if prev, dup := c.seen[key]; dup {
+		c.stats.DroppedDup++
+		// Duplicates from the same neighbor (upstream retransmissions
+		// after a lost ack) and same-depth copies via an alternate path
+		// are harmless. A copy that has accumulated extra hops since we
+		// first forwarded it circled back through us: routing loop.
+		// Break it (CTP's datapath validation).
+		if prev.from != from && d.THL >= prev.thl+c.cfg.DupLoopTHLDelta &&
+			!c.isSink && c.parent != NoParent {
+			c.detach()
+		}
+		return
+	}
+	c.seen[key] = seenEntry{at: c.eng.Now(), from: from, thl: d.THL}
+	if c.isSink {
+		c.stats.DeliveredSink++
+		if c.onDeliver != nil {
+			c.onDeliver(d.Origin, d.App)
+		}
+		return
+	}
+	if d.THL >= c.cfg.MaxTHL {
+		// Datapath loop detection: a packet only accumulates this many
+		// hops by circulating, and every node it visits — including us —
+		// is on the cycle. Break it here: detach, advertise the orphan
+		// state, and rebuild from the neighbors' fresh gradient.
+		c.stats.DroppedTHL++
+		if !c.isSink && c.parent != NoParent {
+			c.detach()
+		}
+		return
+	}
+	fwd := &Data{
+		Origin:    d.Origin,
+		OriginSeq: d.OriginSeq,
+		THL:       d.THL + 1,
+		App:       d.App,
+	}
+	c.stats.Forwarded++
+	_ = c.forward(fwd)
+	_ = from
+}
+
+// OnSendDone implements node.Protocol.
+func (c *CTP) OnSendDone(f *radio.Frame, acker radio.NodeID, ok bool) {
+	if _, isBeacon := f.Payload.(*Beacon); isBeacon {
+		return
+	}
+	pend, tracked := c.inflight[f]
+	if !tracked {
+		return
+	}
+	delete(c.inflight, f)
+	c.est.OnDataOutcome(f.Dst, ok, c.eng.Now())
+	if ok {
+		return
+	}
+	// Failed LPL round: re-evaluate the tree and retry through the
+	// (possibly new) parent.
+	c.evaluate()
+	pend.retries--
+	if pend.retries <= 0 {
+		c.stats.DroppedRetry++
+		return
+	}
+	if c.parent == NoParent {
+		c.stats.DroppedNoTree++
+		return
+	}
+	nf := &radio.Frame{
+		Kind:    radio.FrameData,
+		Dst:     c.parent,
+		Size:    c.cfg.DataSize,
+		Payload: pend.data,
+	}
+	c.inflight[nf] = pend
+	if err := c.node.Send(nf); err != nil {
+		delete(c.inflight, nf)
+		c.stats.DroppedRetry++
+	}
+}
+
+func (c *CTP) gcSeen() {
+	if len(c.seen) < 512 {
+		return
+	}
+	cutoff := c.eng.Now() - 5*time.Minute
+	for k, e := range c.seen {
+		if e.at < cutoff {
+			delete(c.seen, k)
+		}
+	}
+}

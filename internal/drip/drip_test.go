@@ -1,0 +1,204 @@
+package drip_test
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/ctp"
+	"teleadjust/internal/drip"
+	"teleadjust/internal/experiment"
+	"teleadjust/internal/mac"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/topology"
+)
+
+func buildDrip(t *testing.T, dep *topology.Deployment, seed uint64) *experiment.Net {
+	t.Helper()
+	params := radio.DefaultParams()
+	params.ShadowSigmaDB = 0
+	cfg := experiment.Config{
+		Dep:      dep,
+		Radio:    params,
+		Mac:      mac.DefaultConfig(),
+		Ctp:      ctp.DefaultConfig(),
+		Drip:     drip.DefaultConfig(),
+		WithDrip: true,
+		Seed:     seed,
+	}
+	cfg.Drip.ControlTimeout = 30 * time.Second
+	net, err := experiment.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	return net
+}
+
+func TestDisseminationReachesAllNodes(t *testing.T) {
+	dep := topology.Line(5, 7)
+	net := buildDrip(t, dep, 1)
+	if err := net.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]uint32{}
+	for i := 1; i < 5; i++ {
+		i := i
+		net.Drips[i].SetUpdateFunc(func(key uint16, version uint32, payload any) {
+			got[i] = version
+		})
+	}
+	net.SinkDrip().Disseminate(7, "value-1")
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if got[i] != 1 {
+			t.Fatalf("node %d version = %d, want 1", i, got[i])
+		}
+		if net.Drips[i].Version(7) != 1 {
+			t.Fatalf("node %d stored version %d", i, net.Drips[i].Version(7))
+		}
+	}
+}
+
+func TestNewVersionSupersedes(t *testing.T) {
+	dep := topology.Line(3, 7)
+	net := buildDrip(t, dep, 2)
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.SinkDrip().Disseminate(7, "v1")
+	if err := net.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.SinkDrip().Disseminate(7, "v2")
+	if err := net.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if v := net.Drips[i].Version(7); v != 2 {
+			t.Fatalf("node %d version = %d, want 2", i, v)
+		}
+	}
+}
+
+func TestControlViaDissemination(t *testing.T) {
+	dep := topology.Line(4, 7)
+	net := buildDrip(t, dep, 3)
+	if err := net.Run(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var res drip.Result
+	got := false
+	deliveredAt := map[uint32]bool{}
+	net.Drips[3].SetDeliveredFn(func(uid uint32) { deliveredAt[uid] = true })
+	if _, err := net.SinkDrip().SendControl(3, "cmd", func(r drip.Result) { res = r; got = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(40 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !got || !res.OK {
+		t.Fatalf("drip control failed: got=%v res=%+v", got, res)
+	}
+	if len(deliveredAt) != 1 {
+		t.Fatalf("destination deliveries = %d, want 1", len(deliveredAt))
+	}
+	// Non-destinations must not deliver.
+	if net.Drips[1].Stats().Delivered != 0 {
+		t.Fatal("non-destination consumed the command")
+	}
+}
+
+func TestFloodingCostExceedsPathCost(t *testing.T) {
+	// Table III's qualitative property: flooding transmissions grow with
+	// network size, far beyond the destination's hop count.
+	dep := topology.Line(5, 7)
+	net := buildDrip(t, dep, 4)
+	if err := net.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := uint64(0)
+	for _, d := range net.Drips {
+		before += d.Stats().Sends
+	}
+	if _, err := net.SinkDrip().SendControl(1, "cmd", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	after := uint64(0)
+	for _, d := range net.Drips {
+		after += d.Stats().Sends
+	}
+	// Destination is 1 hop away, yet the flood must involve most nodes.
+	if after-before < 5 {
+		t.Fatalf("flood produced only %d transmissions", after-before)
+	}
+}
+
+func TestSendControlFromNonSink(t *testing.T) {
+	dep := topology.Line(2, 7)
+	net := buildDrip(t, dep, 5)
+	if _, err := net.Drips[1].SendControl(0, "x", nil); err != drip.ErrNotSink {
+		t.Fatalf("err = %v, want ErrNotSink", err)
+	}
+}
+
+func TestVersionZeroNeverAdvertised(t *testing.T) {
+	dep := topology.Line(2, 7)
+	net := buildDrip(t, dep, 6)
+	if err := net.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// No value was ever disseminated: no Drip sends at all.
+	for i, d := range net.Drips {
+		if d.Stats().Sends != 0 {
+			t.Fatalf("node %d advertised version 0 (%d sends)", i, d.Stats().Sends)
+		}
+	}
+}
+
+func TestOutdatedNeighborTriggersReadvertise(t *testing.T) {
+	dep := topology.Line(3, 7)
+	net := buildDrip(t, dep, 7)
+	if err := net.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.SinkDrip().Disseminate(9, "v1")
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if net.Drips[2].Version(9) != 1 {
+		t.Skip("v1 did not reach node 2")
+	}
+	// All consistent now; inject v2 and verify it replaces v1 everywhere
+	// (the behind-neighbor inconsistency rule drives the re-flood).
+	net.SinkDrip().Disseminate(9, "v2")
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if v := net.Drips[i].Version(9); v != 2 {
+			t.Fatalf("node %d stuck at version %d", i, v)
+		}
+	}
+}
+
+func TestDripStopSilences(t *testing.T) {
+	dep := topology.Line(2, 7)
+	net := buildDrip(t, dep, 8)
+	net.SinkDrip().Disseminate(3, "x")
+	if err := net.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := net.SinkDrip().Stats().Sends
+	net.SinkDrip().Stop()
+	if err := net.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if net.SinkDrip().Stats().Sends != before {
+		t.Fatal("stopped Drip kept advertising")
+	}
+}

@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"teleadjust/internal/stats"
+)
+
+// WriteByKeyCSV exports a grouped series as CSV rows
+// (key,count,mean,min,max) for external plotting.
+func WriteByKeyCSV(w io.Writer, b *stats.ByKey, keyName, valueName string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{keyName, "n", "mean_" + valueName, "min", "max"}); err != nil {
+		return err
+	}
+	for _, k := range b.Keys() {
+		s := b.Get(k)
+		rec := []string{
+			strconv.Itoa(k),
+			strconv.Itoa(s.Count()),
+			strconv.FormatFloat(s.Mean(), 'g', 6, 64),
+			strconv.FormatFloat(s.Min(), 'g', 6, 64),
+			strconv.FormatFloat(s.Max(), 'g', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScatterCSV exports a scatter cloud as CSV rows (x,y).
+func WriteScatterCSV(w io.Writer, s *stats.Scatter, xName, yName string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{xName, yName}); err != nil {
+		return err
+	}
+	for i := range s.Xs {
+		rec := []string{
+			strconv.FormatFloat(s.Xs[i], 'g', 6, 64),
+			strconv.FormatFloat(s.Ys[i], 'g', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteControlCSV exports every per-hop series of a control study with a
+// figure label column, one file for all of Fig 7/8/10.
+func WriteControlCSV(w io.Writer, res *ControlResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "protocol", "scenario", "key", "n", "mean"}); err != nil {
+		return err
+	}
+	emit := func(fig string, b *stats.ByKey) error {
+		for _, k := range b.Keys() {
+			s := b.Get(k)
+			rec := []string{
+				fig, res.Proto, res.Scenario,
+				strconv.Itoa(k),
+				strconv.Itoa(s.Count()),
+				strconv.FormatFloat(s.Mean(), 'g', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("fig7_pdr", res.PDRByHop); err != nil {
+		return err
+	}
+	if err := emit("fig10_latency", res.LatencyByHop); err != nil {
+		return err
+	}
+	if err := emit("fig8_athx", res.ATHX.MeanYForX()); err != nil {
+		return err
+	}
+	summary := []string{"table3_tx", res.Proto, res.Scenario, "0", strconv.Itoa(res.Sent),
+		strconv.FormatFloat(res.TxPerPacket, 'g', 6, 64)}
+	if err := cw.Write(summary); err != nil {
+		return err
+	}
+	duty := []string{"fig9_duty", res.Proto, res.Scenario, "0", strconv.Itoa(res.Sent),
+		strconv.FormatFloat(res.AvgDutyCycle, 'g', 6, 64)}
+	if err := cw.Write(duty); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCodingCSV exports a coding study's per-hop series.
+func WriteCodingCSV(w io.Writer, res *CodingResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "scenario", "key", "n", "mean"}); err != nil {
+		return err
+	}
+	emit := func(fig string, b *stats.ByKey) error {
+		for _, k := range b.Keys() {
+			s := b.Get(k)
+			rec := []string{
+				fig, res.Scenario,
+				strconv.Itoa(k),
+				strconv.Itoa(s.Count()),
+				strconv.FormatFloat(s.Mean(), 'g', 6, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("fig6a_codelen", res.CodeLenByHop); err != nil {
+		return err
+	}
+	if err := emit("fig6b_children", res.ChildrenByHop); err != nil {
+		return err
+	}
+	if err := emit("fig6d_revhops", res.ReverseVsCTP.MeanYForX()); err != nil {
+		return err
+	}
+	row := []string{"fig6c_convergence", res.Scenario, "0",
+		strconv.Itoa(res.ConvergenceBeacons.Count()),
+		strconv.FormatFloat(res.ConvergenceBeacons.Mean(), 'g', 6, 64)}
+	if err := cw.Write(row); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("coding csv: %w", err)
+	}
+	return nil
+}

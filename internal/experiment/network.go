@@ -1,0 +1,281 @@
+// Package experiment assembles complete simulated networks (radio medium,
+// MAC, node runtime, CTP, TeleAdjusting, Drip, RPL) and provides the
+// scenario runners that regenerate every table and figure of the paper's
+// evaluation.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/ctp"
+	"teleadjust/internal/drip"
+	"teleadjust/internal/mac"
+	"teleadjust/internal/node"
+	"teleadjust/internal/noise"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/rpl"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+// Config describes a network to build.
+type Config struct {
+	Dep   *topology.Deployment
+	Radio radio.Params
+	Mac   mac.Config
+	Ctp   ctp.Config
+	Tele  core.Config
+	Drip  drip.Config
+	Rpl   rpl.Config
+	// Exactly one control protocol is normally enabled per run (they all
+	// claim the sink's CTP delivery hook for their end-to-end acks).
+	WithTele bool
+	WithDrip bool
+	WithRPL  bool
+	// NoiseTraceSeed != 0 trains a CPM model on a synthetic noise trace
+	// with that seed; 0 uses the constant quiet floor.
+	NoiseTraceSeed uint64
+	// NoiseTraceLen is the training trace length (default 60000 samples).
+	NoiseTraceLen int
+	// NoiseProfile selects the trace statistics (nil = meyer-heavy).
+	NoiseProfile *noise.TraceProfile
+	// WifiPowerDBm != 0 installs a WiFi interferer at that power (the
+	// "channel 19" condition); 0 disables it.
+	WifiPowerDBm float64
+	Seed         uint64
+}
+
+// Net is an assembled network.
+type Net struct {
+	Eng    *sim.Engine
+	Medium *radio.Medium
+	Dep    *topology.Deployment
+	Sink   radio.NodeID
+
+	Macs  []*mac.MAC
+	Nodes []*node.Node
+	Ctps  []*ctp.CTP
+	Teles []*core.Engine // nil entries when WithTele is false
+	Drips []*drip.Drip   // nil entries when WithDrip is false
+	Rpls  []*rpl.RPL     // nil entries when WithRPL is false
+
+	cfg Config
+}
+
+// Build assembles the network. Call Start before Run.
+func Build(cfg Config) (*Net, error) {
+	if cfg.Dep == nil {
+		return nil, fmt.Errorf("experiment: no deployment")
+	}
+	if err := cfg.Dep.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	var model *noise.Model
+	if cfg.NoiseTraceSeed != 0 {
+		n := cfg.NoiseTraceLen
+		if n <= 0 {
+			n = 60000
+		}
+		profile := noise.MeyerHeavy()
+		if cfg.NoiseProfile != nil {
+			profile = *cfg.NoiseProfile
+		}
+		model = noise.Train(noise.GenerateTraceProfile(n, cfg.NoiseTraceSeed, profile))
+	}
+	med, err := radio.NewMedium(eng, cfg.Dep, model, cfg.Radio, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WifiPowerDBm != 0 {
+		med.SetInterferer(noise.NewWifiInterferer(sim.DeriveRNG(cfg.Seed, 0xbeef), cfg.WifiPowerDBm))
+	}
+	n := cfg.Dep.Len()
+	net := &Net{
+		Eng:    eng,
+		Medium: med,
+		Dep:    cfg.Dep,
+		Sink:   radio.NodeID(cfg.Dep.Sink),
+		Macs:   make([]*mac.MAC, n),
+		Nodes:  make([]*node.Node, n),
+		Ctps:   make([]*ctp.CTP, n),
+		Teles:  make([]*core.Engine, n),
+		Drips:  make([]*drip.Drip, n),
+		Rpls:   make([]*rpl.RPL, n),
+		cfg:    cfg,
+	}
+	for i := 0; i < n; i++ {
+		id := radio.NodeID(i)
+		mcfg := cfg.Mac
+		mcfg.AlwaysOn = cfg.Mac.AlwaysOn || id == net.Sink
+		net.Macs[i] = mac.New(eng, med.Radio(id), mcfg, sim.DeriveRNG(cfg.Seed, 0x1000+uint64(i)), nil)
+		net.Nodes[i] = node.New(eng, net.Macs[i])
+		net.Ctps[i] = ctp.New(net.Nodes[i], cfg.Ctp, sim.DeriveRNG(cfg.Seed, 0x2000+uint64(i)), id == net.Sink)
+		if cfg.WithTele {
+			net.Teles[i] = core.New(net.Nodes[i], net.Ctps[i], cfg.Tele, sim.DeriveRNG(cfg.Seed, 0x3000+uint64(i)))
+		}
+		if cfg.WithDrip {
+			net.Drips[i] = drip.New(net.Nodes[i], net.Ctps[i], cfg.Drip, sim.DeriveRNG(cfg.Seed, 0x4000+uint64(i)))
+		}
+		if cfg.WithRPL {
+			net.Rpls[i] = rpl.New(net.Nodes[i], net.Ctps[i], cfg.Rpl, sim.DeriveRNG(cfg.Seed, 0x5000+uint64(i)))
+		}
+	}
+	if cfg.WithTele {
+		net.Teles[net.Sink].SetOracle(net.Oracle())
+	}
+	return net, nil
+}
+
+// Start launches MACs and protocols on all nodes.
+func (n *Net) Start() {
+	for i := range n.Macs {
+		n.Macs[i].Start()
+		n.Ctps[i].Start()
+		if n.Teles[i] != nil {
+			n.Teles[i].Start()
+		}
+		if n.Rpls[i] != nil {
+			n.Rpls[i].Start()
+		}
+	}
+}
+
+// dataReading is the background collection payload (the paper's concurrent
+// data traffic); the sink-side hooks ignore it.
+type dataReading struct {
+	Seq int
+}
+
+// startDataTraffic begins periodic upward data packets from every live
+// non-sink node at the given inter-packet interval, with random phases.
+func (n *Net) startDataTraffic(ipi time.Duration, seed uint64) {
+	rng := sim.DeriveRNG(seed, 0xda7a)
+	for i := range n.Ctps {
+		if radio.NodeID(i) == n.Sink {
+			continue
+		}
+		c := n.Ctps[i]
+		seq := 0
+		tk := sim.NewTicker(n.Eng, ipi, func() {
+			seq++
+			_ = c.SendToSink(&dataReading{Seq: seq})
+		})
+		tk.StartWithOffset(time.Duration(rng.Int64N(int64(ipi))))
+	}
+}
+
+// KillNode models a node failure: every protocol stops and the radio goes
+// dark immediately.
+func (n *Net) KillNode(id radio.NodeID) {
+	i := int(id)
+	n.Ctps[i].Stop()
+	if n.Teles[i] != nil {
+		n.Teles[i].Stop()
+	}
+	if n.Drips[i] != nil {
+		n.Drips[i].Stop()
+	}
+	if n.Rpls[i] != nil {
+		n.Rpls[i].Stop()
+	}
+	n.Macs[i].Kill()
+}
+
+// SinkDrip returns the sink's Drip instance (controller side).
+func (n *Net) SinkDrip() *drip.Drip { return n.Drips[n.Sink] }
+
+// SinkRPL returns the sink's RPL instance (controller side).
+func (n *Net) SinkRPL() *rpl.RPL { return n.Rpls[n.Sink] }
+
+// Run advances the simulation by d.
+func (n *Net) Run(d time.Duration) error {
+	return n.Eng.Run(n.Eng.Now() + d)
+}
+
+// SinkTele returns the sink's TeleAdjusting engine (controller side).
+func (n *Net) SinkTele() *core.Engine { return n.Teles[n.Sink] }
+
+// CTPHops walks the parent chain from id to the sink; -1 on detachment or
+// loop.
+func (n *Net) CTPHops(id radio.NodeID) int {
+	cur := id
+	for hops := 0; hops <= len(n.Ctps); hops++ {
+		if cur == n.Sink {
+			return hops
+		}
+		p := n.Ctps[cur].Parent()
+		if p == ctp.NoParent {
+			return -1
+		}
+		cur = p
+	}
+	return -1
+}
+
+// TreeCoverage returns the fraction of non-sink nodes attached loop-free.
+func (n *Net) TreeCoverage() float64 {
+	attached := 0
+	for i := range n.Ctps {
+		if radio.NodeID(i) == n.Sink {
+			continue
+		}
+		if n.CTPHops(radio.NodeID(i)) > 0 {
+			attached++
+		}
+	}
+	return float64(attached) / float64(len(n.Ctps)-1)
+}
+
+// CodeCoverage returns the fraction of non-sink nodes holding a path code.
+func (n *Net) CodeCoverage() float64 {
+	if !n.cfg.WithTele {
+		return 0
+	}
+	have := 0
+	for i, t := range n.Teles {
+		if radio.NodeID(i) == n.Sink {
+			continue
+		}
+		if _, ok := t.Code(); ok {
+			have++
+		}
+	}
+	return float64(have) / float64(len(n.Teles)-1)
+}
+
+// mediumOracle adapts the radio medium to the controller's topology
+// oracle.
+type mediumOracle struct {
+	med     *radio.Medium
+	power   float64
+	minLink float64
+}
+
+var _ core.Oracle = (*mediumOracle)(nil)
+
+// Oracle returns a topology oracle backed by the simulation medium (the
+// controller's assumed global knowledge).
+func (n *Net) Oracle() core.Oracle {
+	return &mediumOracle{med: n.Medium, power: n.cfg.Mac.TxPowerDBm, minLink: 0.2}
+}
+
+func (o *mediumOracle) NeighborsOf(id radio.NodeID) []radio.NodeID {
+	var out []radio.NodeID
+	for j := 0; j < o.med.NumNodes(); j++ {
+		nid := radio.NodeID(j)
+		if nid == id {
+			continue
+		}
+		if o.med.ExpectedPRR(nid, id, o.power, 32) >= o.minLink {
+			out = append(out, nid)
+		}
+	}
+	return out
+}
+
+func (o *mediumOracle) LinkQuality(a, b radio.NodeID) float64 {
+	return o.med.ExpectedPRR(a, b, o.power, 32)
+}

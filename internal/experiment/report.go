@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"teleadjust/internal/stats"
+)
+
+// WriteCodingReport renders a coding study in the layout of the paper's
+// Fig. 6 panels and Table II.
+func WriteCodingReport(w io.Writer, res *CodingResult) {
+	fmt.Fprintf(w, "=== Coding study: %s ===\n", res.Scenario)
+	fmt.Fprintf(w, "converged: %.1f%% of nodes hold a path code\n\n", 100*res.Converged)
+	fmt.Fprintln(w, "Fig 6a / Table II — path code length (bits) by CTP hop count:")
+	fmt.Fprint(w, res.CodeLenByHop.Table("hops", "bits"))
+	fmt.Fprintln(w, "\nFig 6b — children per node by hop:")
+	fmt.Fprint(w, res.ChildrenByHop.Table("hops", "children"))
+	fmt.Fprintf(w, "\nFig 6c — convergence: n=%d mean=%.1f beacons p90=%.1f max=%.1f (paper: most <10, all ≤20)\n",
+		res.ConvergenceBeacons.Count(), res.ConvergenceBeacons.Mean(),
+		res.ConvergenceBeacons.Percentile(90), res.ConvergenceBeacons.Max())
+	fmt.Fprintf(w, "\nFig 6d — reverse vs CTP hop count: ratio=%.3f (paper: 1.08)\n", res.HopRatio)
+	fmt.Fprint(w, res.ReverseVsCTP.MeanYForX().Table("ctp-hops", "rev-hops"))
+}
+
+// WriteControlReport renders one control study (one row of Fig. 7–10 and
+// Table III).
+func WriteControlReport(w io.Writer, res *ControlResult) {
+	fmt.Fprintf(w, "=== Control study: %s on %s ===\n", res.Proto, res.Scenario)
+	fmt.Fprintf(w, "sent=%d delivered=%d unroutable=%d PDR=%.1f%%\n",
+		res.Sent, res.Delivered, res.Skipped, 100*res.PDR())
+	fmt.Fprintln(w, "\nFig 7 — PDR by destination hop count:")
+	fmt.Fprint(w, res.PDRByHop.Table("hops", "PDR"))
+	fmt.Fprint(w, BarTable(res.PDRByHop, 1))
+	fmt.Fprintln(w, "\nFig 10 — one-way latency (s) by hop:")
+	fmt.Fprint(w, res.LatencyByHop.Table("hops", "latency"))
+	fmt.Fprintf(w, "\nTable III — transmissions per control packet: %.2f\n", res.TxPerPacket)
+	fmt.Fprintf(w, "Fig 9 — average radio duty cycle: %.2f%%\n", 100*res.AvgDutyCycle)
+	fmt.Fprintf(w, "Fig 8 — ATHX (%d samples), mean transmissions travelled by receiver hop:\n", res.ATHX.Len())
+	fmt.Fprint(w, res.ATHX.MeanYForX().Table("ctp-hops", "athx"))
+	if len(res.Detail) > 0 {
+		fmt.Fprintln(w, "diagnostics:")
+		keys := make([]string, 0, len(res.Detail))
+		for k := range res.Detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "  %-22s %.3f\n", k, res.Detail[k])
+		}
+	}
+}
+
+// WriteComparisonSummary renders the cross-protocol summary rows the
+// paper's Fig 7/9/10 and Table III compare.
+func WriteComparisonSummary(w io.Writer, results []*ControlResult) {
+	if len(results) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "--- %s: protocol comparison ---\n", results[0].Scenario)
+	fmt.Fprintf(w, "%-12s %8s %10s %10s %10s\n", "protocol", "PDR", "tx/packet", "duty", "latency")
+	for _, r := range results {
+		lat, n := 0.0, 0
+		for _, k := range r.LatencyByHop.Keys() {
+			s := r.LatencyByHop.Get(k)
+			lat += s.Mean() * float64(s.Count())
+			n += s.Count()
+		}
+		avgLat := 0.0
+		if n > 0 {
+			avgLat = lat / float64(n)
+		}
+		fmt.Fprintf(w, "%-12s %7.1f%% %10.2f %9.2f%% %9.2fs\n",
+			r.Proto, 100*r.PDR(), r.TxPerPacket, 100*r.AvgDutyCycle, avgLat)
+	}
+}
+
+// WriteScopeReport renders a scoped-dissemination study.
+func WriteScopeReport(w io.Writer, res *ScopeStudyResult) {
+	fmt.Fprintf(w, "=== Scoped dissemination: %s ===\n", res.Scenario)
+	fmt.Fprintf(w, "operations=%d members=%d acked=%d mean-coverage=%.1f%%\n",
+		res.Operations, res.Members, res.Acked, 100*res.Coverage.Mean())
+	fmt.Fprintf(w, "scoped flood:       %.2f tx per addressed member\n", res.TxPerMember)
+	fmt.Fprintf(w, "per-member unicast: %.2f tx per addressed member\n", res.UnicastTxPerMember)
+}
+
+// BarTable renders a grouped series as an aligned table with ASCII bars
+// scaled to the maximum mean (or scaleMax when positive) — a text
+// rendition of the paper's bar figures.
+func BarTable(b *stats.ByKey, scaleMax float64) string {
+	const width = 30
+	var sb strings.Builder
+	maxMean := scaleMax
+	if maxMean <= 0 {
+		for _, k := range b.Keys() {
+			if m := b.Get(k).Mean(); m > maxMean {
+				maxMean = m
+			}
+		}
+	}
+	if maxMean <= 0 {
+		maxMean = 1
+	}
+	for _, k := range b.Keys() {
+		m := b.Get(k).Mean()
+		n := int(m / maxMean * width)
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-8d %8.3f %s\n", k, m, strings.Repeat("█", n))
+	}
+	return sb.String()
+}
+
+// Indent prefixes every line of s.
+func Indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

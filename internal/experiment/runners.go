@@ -1,0 +1,605 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/drip"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/rpl"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/stats"
+)
+
+// CodingResult aggregates the path-code experiments (Fig. 6a–d, Table II).
+type CodingResult struct {
+	Scenario string
+	// CodeLenByHop groups path-code length (bits) by CTP hop count
+	// (Fig. 6a, Table II).
+	CodeLenByHop *stats.ByKey
+	// ChildrenByHop groups per-node child counts by hop (Fig. 6b).
+	ChildrenByHop *stats.ByKey
+	// ConvergenceBeacons holds per-node beacon periods from the routing
+	// found event to code assignment (Fig. 6c).
+	ConvergenceBeacons *stats.Series
+	// ReverseVsCTP scatters code-tree depth against CTP hop count
+	// (Fig. 6d).
+	ReverseVsCTP *stats.Scatter
+	// HopRatio is mean(reverse hops)/mean(CTP hops) — the paper reports
+	// 1.08.
+	HopRatio float64
+	// Converged is the fraction of non-sink nodes holding a code.
+	Converged float64
+}
+
+// RunCodingStudy builds the scenario with TeleAdjusting, runs it for dur,
+// and extracts the Fig-6/Table-II metrics.
+func RunCodingStudy(scn Scenario, dur time.Duration) (*CodingResult, error) {
+	net, err := Build(scn.config(true, false, false))
+	if err != nil {
+		return nil, err
+	}
+	if scn.OnNetBuilt != nil {
+		scn.OnNetBuilt(net)
+	}
+	// Record each node's routing-found time.
+	foundAt := make([]time.Duration, net.Dep.Len())
+	for i := range foundAt {
+		foundAt[i] = -1
+	}
+	for i := range net.Ctps {
+		i := i
+		net.Ctps[i].OnParentChange(func(old, new radio.NodeID) {
+			if foundAt[i] < 0 {
+				foundAt[i] = net.Eng.Now()
+			}
+		})
+	}
+	net.Start()
+	if err := net.Run(dur); err != nil {
+		return nil, err
+	}
+
+	res := &CodingResult{
+		Scenario:           scn.Name,
+		CodeLenByHop:       stats.NewByKey(),
+		ChildrenByHop:      stats.NewByKey(),
+		ConvergenceBeacons: &stats.Series{},
+		ReverseVsCTP:       &stats.Scatter{},
+	}
+	var revSum, ctpSum float64
+	var pairCount, withCode int
+	for i := range net.Teles {
+		id := radio.NodeID(i)
+		if id == net.Sink {
+			continue
+		}
+		hops := net.CTPHops(id)
+		te := net.Teles[i]
+		code, ok := te.Code()
+		if ok {
+			withCode++
+			if hops > 0 {
+				res.CodeLenByHop.Add(hops, float64(code.Len()))
+				res.ReverseVsCTP.Add(float64(hops), float64(te.Depth()))
+				revSum += float64(te.Depth())
+				ctpSum += float64(hops)
+				pairCount++
+			}
+			// Fig 6c measures per-node convergence: beacon periods from
+			// when the node could start (it has a parent AND that parent
+			// holds a code) to code assignment. Measuring from the node's
+			// own routing-found alone would charge level k for the k−1
+			// serial allocation delays above it.
+			if at, has := te.CodeAssignedAt(); has && foundAt[i] >= 0 {
+				start := foundAt[i]
+				if el, hasEl := te.EligibleAt(); hasEl && el > start {
+					start = el
+				}
+				if at >= start {
+					beacons := float64(at-start) / float64(scn.Mac.WakeInterval)
+					res.ConvergenceBeacons.Add(beacons)
+				}
+			}
+		}
+		if hops >= 0 {
+			res.ChildrenByHop.Add(hops, float64(len(te.Children())))
+		}
+	}
+	if ctpSum > 0 {
+		res.HopRatio = revSum / ctpSum
+	}
+	_ = pairCount
+	res.Converged = float64(withCode) / float64(net.Dep.Len()-1)
+	return res, nil
+}
+
+// Proto selects the control protocol under test.
+type Proto int
+
+// Protocols of the comparison (Tele is TeleAdjusting without the
+// destination-unreachable countermeasure, ReTele with it, TeleStrict the
+// non-opportunistic ablation).
+const (
+	ProtoTele Proto = iota + 1
+	ProtoReTele
+	ProtoTeleStrict
+	ProtoDrip
+	ProtoRPL
+)
+
+// String returns the protocol's display name.
+func (p Proto) String() string {
+	switch p {
+	case ProtoTele:
+		return "Tele"
+	case ProtoReTele:
+		return "Re-Tele"
+	case ProtoTeleStrict:
+		return "Tele-strict"
+	case ProtoDrip:
+		return "Drip"
+	case ProtoRPL:
+		return "RPL"
+	}
+	return "unknown"
+}
+
+// ControlResult aggregates one control-plane run (Fig. 7–10, Table III).
+type ControlResult struct {
+	Proto    string
+	Scenario string
+
+	Sent      int
+	Delivered int
+	AckedOK   int
+	Skipped   int // destinations without route/code at send time
+
+	// PDRByHop groups delivery (1/0) by the destination's CTP hop count
+	// (Fig. 7).
+	PDRByHop *stats.ByKey
+	// LatencyByHop groups one-way delivery latency (seconds) by hop
+	// (Fig. 10).
+	LatencyByHop *stats.ByKey
+	// TxPerPacket is the network-wide logical transmissions per control
+	// packet (Table III).
+	TxPerPacket float64
+	// AvgDutyCycle is the mean radio duty cycle over the control phase
+	// (Fig. 9).
+	AvgDutyCycle float64
+	// ATHX scatters transmissions-travelled against the receiving node's
+	// CTP hop count (Fig. 8).
+	ATHX *stats.Scatter
+	// Detail holds protocol-specific per-packet diagnostics (backtracks,
+	// rescues, duplicate deliveries, DAO traffic, ...).
+	Detail map[string]float64
+}
+
+// PDR returns the overall delivery ratio.
+func (r *ControlResult) PDR() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Sent)
+}
+
+// ControlOpts tunes a control study.
+type ControlOpts struct {
+	// Warmup lets the tree, codes, routes and registries converge.
+	Warmup time.Duration
+	// Packets is the number of control packets to send.
+	Packets int
+	// Interval is the inter-packet interval (paper: one per minute).
+	Interval time.Duration
+	// Drain is extra time after the last packet for stragglers.
+	Drain time.Duration
+	// KillNodes, when positive, fails that many random non-sink nodes at
+	// evenly spaced points of the control phase (the "network dynamics"
+	// stressor). Killed nodes are never chosen as destinations afterward.
+	KillNodes int
+	// DataIPI, when positive, makes every non-sink node originate an
+	// upward data packet at this inter-packet interval during the control
+	// phase (the paper's concurrent collection traffic; its testbed used
+	// a 10-minute IPI).
+	DataIPI time.Duration
+}
+
+// DefaultControlOpts returns a scaled-down version of the paper's 3-hour
+// runs that preserves the statistics.
+func DefaultControlOpts() ControlOpts {
+	return ControlOpts{
+		Warmup:   4 * time.Minute,
+		Packets:  60,
+		Interval: 15 * time.Second,
+		Drain:    time.Minute,
+	}
+}
+
+// RunControlStudy runs one protocol on the scenario and reports the
+// Fig 7–10 / Table III metrics.
+func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResult, error) {
+	cfg := scn.config(false, false, false)
+	switch proto {
+	case ProtoTele:
+		cfg.WithTele = true
+		cfg.Tele.Rescue = false
+	case ProtoReTele:
+		cfg.WithTele = true
+		cfg.Tele.Rescue = true
+	case ProtoTeleStrict:
+		cfg.WithTele = true
+		cfg.Tele.Rescue = false
+		cfg.Tele.Opportunistic = false
+	case ProtoDrip:
+		cfg.WithDrip = true
+	case ProtoRPL:
+		cfg.WithRPL = true
+	default:
+		return nil, fmt.Errorf("experiment: unknown protocol %d", proto)
+	}
+	net, err := Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if scn.OnNetBuilt != nil {
+		scn.OnNetBuilt(net)
+	}
+	net.Start()
+	if err := net.Run(opts.Warmup); err != nil {
+		return nil, err
+	}
+	if opts.DataIPI > 0 {
+		net.startDataTraffic(opts.DataIPI, scn.Seed)
+	}
+
+	res := &ControlResult{
+		Proto:        proto.String(),
+		Scenario:     scn.Name,
+		PDRByHop:     stats.NewByKey(),
+		LatencyByHop: stats.NewByKey(),
+		ATHX:         &stats.Scatter{},
+	}
+
+	// Snapshot baselines after warmup.
+	phaseStart := net.Eng.Now()
+	onBase := make([]time.Duration, net.Dep.Len())
+	for i, m := range net.Macs {
+		onBase[i] = m.RadioOnTime()
+	}
+	txBase := net.protoTxCount(proto)
+
+	type sent struct {
+		at   time.Duration
+		dst  radio.NodeID
+		hops int
+	}
+	sentByUID := make(map[uint32]*sent)
+	deliveredAt := make(map[uint32]time.Duration)
+
+	// Register delivered hooks once.
+	switch proto {
+	case ProtoTele, ProtoReTele, ProtoTeleStrict:
+		for i, te := range net.Teles {
+			if radio.NodeID(i) == net.Sink || te == nil {
+				continue
+			}
+			te.SetDeliveredFn(func(uid uint32, hops uint8) {
+				if _, ok := deliveredAt[uid]; !ok {
+					deliveredAt[uid] = net.Eng.Now()
+				}
+			})
+		}
+	case ProtoDrip:
+		for i, d := range net.Drips {
+			if radio.NodeID(i) == net.Sink || d == nil {
+				continue
+			}
+			d.SetDeliveredFn(func(uid uint32) {
+				if _, ok := deliveredAt[uid]; !ok {
+					deliveredAt[uid] = net.Eng.Now()
+				}
+			})
+		}
+	case ProtoRPL:
+		for i, r := range net.Rpls {
+			if radio.NodeID(i) == net.Sink || r == nil {
+				continue
+			}
+			r.SetDeliveredFn(func(uid uint32, hops uint8) {
+				if _, ok := deliveredAt[uid]; !ok {
+					deliveredAt[uid] = net.Eng.Now()
+				}
+			})
+		}
+	}
+
+	ackOK := 0
+	destRNG := sim.DeriveRNG(scn.Seed, 0xd057)
+	killRNG := sim.DeriveRNG(scn.Seed, 0x1c11)
+	dead := make(map[radio.NodeID]bool)
+	killEvery := 0
+	if opts.KillNodes > 0 {
+		killEvery = opts.Packets / (opts.KillNodes + 1)
+		if killEvery < 1 {
+			killEvery = 1
+		}
+	}
+	killed := 0
+	for p := 0; p < opts.Packets; p++ {
+		if killEvery > 0 && killed < opts.KillNodes && p > 0 && p%killEvery == 0 {
+			// Fail a random live non-sink node.
+			for tries := 0; tries < 100; tries++ {
+				v := radio.NodeID(killRNG.IntN(net.Dep.Len()))
+				if v != net.Sink && !dead[v] {
+					dead[v] = true
+					killed++
+					net.KillNode(v)
+					break
+				}
+			}
+		}
+		// Pick a random live destination (uniform over non-sink nodes).
+		var dst radio.NodeID
+		for {
+			dst = radio.NodeID(destRNG.IntN(net.Dep.Len()))
+			if dst != net.Sink && !dead[dst] {
+				break
+			}
+		}
+		hops := net.CTPHops(dst)
+		uid, err := net.sendControlCB(proto, dst, func(ok bool) {
+			if ok {
+				ackOK++
+			}
+		})
+		switch {
+		case err == nil:
+			res.Sent++
+			sentByUID[uid] = &sent{at: net.Eng.Now(), dst: dst, hops: hops}
+		case errors.Is(err, rpl.ErrNoRoute):
+			// The stored route evaporated: that is RPL's failure mode
+			// under dynamics and counts against its delivery ratio, like
+			// any other undeliverable packet.
+			res.Sent++
+			res.Skipped++
+			h := hops
+			if h < 1 {
+				h = 1
+			}
+			res.PDRByHop.Add(h, 0)
+		default:
+			res.Skipped++
+		}
+		if err := net.Run(opts.Interval); err != nil {
+			return nil, err
+		}
+	}
+	if err := net.Run(opts.Drain); err != nil {
+		return nil, err
+	}
+
+	// Aggregate.
+	res.AckedOK = ackOK
+	for uid, s := range sentByUID {
+		at, ok := deliveredAt[uid]
+		hop := s.hops
+		if hop < 1 {
+			hop = 1
+		}
+		if ok {
+			res.Delivered++
+			res.PDRByHop.Add(hop, 1)
+			res.LatencyByHop.Add(hop, (at - s.at).Seconds())
+		} else {
+			res.PDRByHop.Add(hop, 0)
+		}
+	}
+	res.TxPerPacket = float64(net.protoTxCount(proto)-txBase) / float64(max(1, res.Sent))
+	res.Detail = net.protoDetail(proto, res.Sent)
+	phaseDur := net.Eng.Now() - phaseStart
+	var dutySum float64
+	for i, m := range net.Macs {
+		dutySum += float64(m.RadioOnTime()-onBase[i]) / float64(phaseDur)
+	}
+	res.AvgDutyCycle = dutySum / float64(len(net.Macs))
+	net.collectATHX(proto, res.ATHX, phaseStart)
+	return res, nil
+}
+
+// sendControlCB dispatches a control packet via the selected protocol,
+// reporting the controller-side outcome (e2e ack or timeout) through cb.
+func (n *Net) sendControlCB(proto Proto, dst radio.NodeID, cb func(ok bool)) (uint32, error) {
+	switch proto {
+	case ProtoTele, ProtoReTele, ProtoTeleStrict:
+		return n.SinkTele().SendControl(dst, "adjust", func(r core.Result) { cb(r.OK) })
+	case ProtoDrip:
+		return n.SinkDrip().SendControl(dst, "adjust", func(r drip.Result) { cb(r.OK) })
+	case ProtoRPL:
+		return n.SinkRPL().SendControl(dst, "adjust", func(r rpl.Result) { cb(r.OK) })
+	}
+	return 0, fmt.Errorf("experiment: unknown protocol %d", proto)
+}
+
+// protoTxCount sums the protocol's logical control-plane transmissions
+// network-wide (the Table III metric).
+func (n *Net) protoTxCount(proto Proto) uint64 {
+	var sum uint64
+	switch proto {
+	case ProtoTele, ProtoReTele, ProtoTeleStrict:
+		for _, te := range n.Teles {
+			if te != nil {
+				s := te.Stats()
+				sum += s.ControlSends + s.FeedbackSends
+			}
+		}
+	case ProtoDrip:
+		for _, d := range n.Drips {
+			if d != nil {
+				sum += d.Stats().Sends
+			}
+		}
+	case ProtoRPL:
+		for _, r := range n.Rpls {
+			if r != nil {
+				sum += r.Stats().DownSends
+			}
+		}
+	}
+	return sum
+}
+
+// RunControlStudySeeds runs the study across several seeds (fresh topology
+// and channel per seed) and merges the results, reducing single-run
+// variance the way the paper averages over at least 5 runs.
+func RunControlStudySeeds(build func(seed uint64) Scenario, proto Proto, opts ControlOpts, seeds []uint64) (*ControlResult, error) {
+	var merged *ControlResult
+	var txSum, dutySum float64
+	for _, seed := range seeds {
+		res, err := RunControlStudy(build(seed), proto, opts)
+		if err != nil {
+			return nil, err
+		}
+		txSum += res.TxPerPacket
+		dutySum += res.AvgDutyCycle
+		if merged == nil {
+			merged = res
+			continue
+		}
+		merged.Sent += res.Sent
+		merged.Delivered += res.Delivered
+		merged.AckedOK += res.AckedOK
+		merged.Skipped += res.Skipped
+		merged.PDRByHop.Merge(res.PDRByHop)
+		merged.LatencyByHop.Merge(res.LatencyByHop)
+		merged.ATHX.Merge(res.ATHX)
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("experiment: no seeds given")
+	}
+	merged.TxPerPacket = txSum / float64(len(seeds))
+	merged.AvgDutyCycle = dutySum / float64(len(seeds))
+	return merged, nil
+}
+
+// RunCodingStudySeeds merges coding studies over several seeds.
+func RunCodingStudySeeds(build func(seed uint64) Scenario, dur time.Duration, seeds []uint64) (*CodingResult, error) {
+	var merged *CodingResult
+	var ratioSum, convSum float64
+	for _, seed := range seeds {
+		res, err := RunCodingStudy(build(seed), dur)
+		if err != nil {
+			return nil, err
+		}
+		ratioSum += res.HopRatio
+		convSum += res.Converged
+		if merged == nil {
+			merged = res
+			continue
+		}
+		merged.CodeLenByHop.Merge(res.CodeLenByHop)
+		merged.ChildrenByHop.Merge(res.ChildrenByHop)
+		for _, v := range res.ConvergenceBeacons.Values() {
+			merged.ConvergenceBeacons.Add(v)
+		}
+		merged.ReverseVsCTP.Merge(res.ReverseVsCTP)
+	}
+	if merged == nil {
+		return nil, fmt.Errorf("experiment: no seeds given")
+	}
+	merged.HopRatio = ratioSum / float64(len(seeds))
+	merged.Converged = convSum / float64(len(seeds))
+	return merged, nil
+}
+
+// protoDetail gathers protocol-specific per-packet diagnostics.
+func (n *Net) protoDetail(proto Proto, sent int) map[string]float64 {
+	per := func(v uint64) float64 { return float64(v) / float64(max(1, sent)) }
+	d := make(map[string]float64)
+	switch proto {
+	case ProtoTele, ProtoReTele, ProtoTeleStrict:
+		var s core.Stats
+		for _, te := range n.Teles {
+			if te == nil {
+				continue
+			}
+			t := te.Stats()
+			s.Backtracks += t.Backtracks
+			s.Rescues += t.Rescues
+			s.ControlDupDeliv += t.ControlDupDeliv
+			s.FeedbackSends += t.FeedbackSends
+			s.SendFailures += t.SendFailures
+		}
+		d["backtracks/pkt"] = per(s.Backtracks)
+		d["rescues/pkt"] = per(s.Rescues)
+		d["dup-deliveries/pkt"] = per(s.ControlDupDeliv)
+		d["feedbacks/pkt"] = per(s.FeedbackSends)
+	case ProtoDrip:
+		var sends, vers uint64
+		for _, dr := range n.Drips {
+			if dr == nil {
+				continue
+			}
+			st := dr.Stats()
+			sends += st.Sends
+			vers += st.NewVersions
+		}
+		d["advertisements/pkt"] = per(sends)
+	case ProtoRPL:
+		var dao, noRoute, retry uint64
+		for _, r := range n.Rpls {
+			if r == nil {
+				continue
+			}
+			st := r.Stats()
+			dao += st.DAOSent
+			noRoute += st.DropNoRoute
+			retry += st.DropRetry
+		}
+		d["daos/pkt"] = per(dao)
+		d["drops-no-route/pkt"] = per(noRoute)
+		d["drops-retry/pkt"] = per(retry)
+	}
+	return d
+}
+
+// collectATHX gathers Fig-8 samples recorded after phaseStart.
+func (n *Net) collectATHX(proto Proto, sc *stats.Scatter, phaseStart time.Duration) {
+	for i := range n.Macs {
+		id := radio.NodeID(i)
+		if id == n.Sink {
+			continue
+		}
+		hops := n.CTPHops(id)
+		if hops <= 0 {
+			continue
+		}
+		switch proto {
+		case ProtoTele, ProtoReTele, ProtoTeleStrict:
+			if te := n.Teles[i]; te != nil {
+				for _, s := range te.ATHX() {
+					if s.At >= phaseStart {
+						sc.Add(float64(hops), float64(s.Hops))
+					}
+				}
+			}
+		case ProtoDrip:
+			if d := n.Drips[i]; d != nil {
+				for _, s := range d.ATHX() {
+					if s.At >= phaseStart {
+						sc.Add(float64(hops), float64(s.Hops))
+					}
+				}
+			}
+		case ProtoRPL:
+			if r := n.Rpls[i]; r != nil {
+				for _, s := range r.ATHX() {
+					if s.At >= phaseStart {
+						sc.Add(float64(hops), float64(s.Hops))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package experiment
+
+import (
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/ctp"
+	"teleadjust/internal/drip"
+	"teleadjust/internal/mac"
+	"teleadjust/internal/noise"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/rpl"
+	"teleadjust/internal/topology"
+)
+
+// Scenario bundles a deployment with calibrated physical and protocol
+// parameters matching one of the paper's evaluation settings.
+type Scenario struct {
+	Name         string
+	Dep          *topology.Deployment
+	Radio        radio.Params
+	Mac          mac.Config
+	Ctp          ctp.Config
+	Tele         core.Config
+	Drip         drip.Config
+	Rpl          rpl.Config
+	NoiseSeed    uint64
+	NoiseProfile *noise.TraceProfile // nil = meyer-heavy
+	WifiPowerDBm float64
+	Seed         uint64
+	// OnNetBuilt, when set, is invoked with the assembled network before
+	// Start — the hook point for medium traces and custom instrumentation.
+	OnNetBuilt func(*Net)
+}
+
+// TightGrid is the 225-node 200 m × 200 m "high gain" simulation field.
+// RefLoss 35 dB with exponent 4 gives a ~32 m deterministic radio range,
+// so the 13 m grid spacing yields a dense multi-hop network of ~5 hops to
+// the central sink.
+func TightGrid(seed uint64) Scenario {
+	params := radio.DefaultParams()
+	params.RefLossDB = 35
+	c := ctp.DefaultConfig()
+	// Static links (no fading): help beacons safely accelerate the
+	// construction frontier across the 225-node field, and prompt
+	// cost-change advertising keeps the code tree tracking the ETX tree.
+	c.HelpBeaconDelta = 6
+	c.CostChangeDelta = 3
+	return Scenario{
+		Name:      "tight-grid",
+		Dep:       topology.TightGrid(seed),
+		Radio:     params,
+		Mac:       mac.DefaultConfig(),
+		Ctp:       c,
+		Tele:      core.DefaultConfig(),
+		Drip:      drip.DefaultConfig(),
+		Rpl:       rpl.DefaultConfig(),
+		NoiseSeed: seed ^ 0x77,
+		Seed:      seed,
+	}
+}
+
+// SparseLinear is the 225-node 60 m × 600 m "low gain" field: RefLoss
+// 42 dB shrinks the range to ~21 m, stretching the network to tens of
+// hops along the long axis.
+func SparseLinear(seed uint64) Scenario {
+	params := radio.DefaultParams()
+	params.RefLossDB = 42
+	c := ctp.DefaultConfig()
+	// Tens of hops along the 600 m axis: the route-validity caps must sit
+	// well above the legitimate path depth and cost.
+	c.MaxPathETX = 200
+	c.MaxTHL = 96
+	c.HelpBeaconDelta = 6
+	c.CostChangeDelta = 3
+	// Aggressive datapath loop healing: the long strip's frontier loops
+	// congest and starve the hop-counting detector, so any cross-sender
+	// duplicate breaks the route.
+	c.DupLoopTHLDelta = 0
+	return Scenario{
+		Name:      "sparse-linear",
+		Dep:       topology.SparseLinear(seed),
+		Radio:     params,
+		Mac:       mac.DefaultConfig(),
+		Ctp:       c,
+		Tele:      core.DefaultConfig(),
+		Drip:      drip.DefaultConfig(),
+		Rpl:       rpl.DefaultConfig(),
+		NoiseSeed: seed ^ 0x77,
+		Seed:      seed,
+	}
+}
+
+// Indoor is the 40-node testbed at CC2420 power level 2, calibrated to a
+// ≤6-hop diameter; wifi selects the interfered "channel 19" condition.
+func Indoor(seed uint64, wifi bool) Scenario {
+	params := radio.DefaultParams()
+	params.PathLossExponent = 3.0
+	params.RefLossDB = 30
+	// Slow per-link fading models the bursty testbed links (people and
+	// doors moving in an indoor environment).
+	params.FadingSigmaDB = 1.5
+	params.FadingMinPeriod = 15 * time.Second
+	params.FadingMaxPeriod = 60 * time.Second
+	m := mac.DefaultConfig()
+	m.TxPowerDBm = radio.PowerLevelDBm(2)
+	quiet := noise.QuietChannel()
+	s := Scenario{
+		Name:         "indoor-26",
+		Dep:          topology.IndoorTestbed(seed),
+		Radio:        params,
+		Mac:          m,
+		Ctp:          ctp.DefaultConfig(),
+		Tele:         core.DefaultConfig(),
+		Drip:         drip.DefaultConfig(),
+		Rpl:          rpl.DefaultConfig(),
+		NoiseSeed:    seed ^ 0x99,
+		NoiseProfile: &quiet,
+		Seed:         seed,
+	}
+	if wifi {
+		s.Name = "indoor-19"
+		s.WifiPowerDBm = -58
+	}
+	return s
+}
+
+// config builds a network Config from the scenario with the given
+// protocol selection.
+func (s Scenario) config(withTele, withDrip, withRPL bool) Config {
+	return Config{
+		Dep:            s.Dep,
+		Radio:          s.Radio,
+		Mac:            s.Mac,
+		Ctp:            s.Ctp,
+		Tele:           s.Tele,
+		Drip:           s.Drip,
+		Rpl:            s.Rpl,
+		WithTele:       withTele,
+		WithDrip:       withDrip,
+		WithRPL:        withRPL,
+		NoiseTraceSeed: s.NoiseSeed,
+		NoiseProfile:   s.NoiseProfile,
+		WifiPowerDBm:   s.WifiPowerDBm,
+		Seed:           s.Seed,
+	}
+}
+
+// TuneControlTimeouts shortens controller timeouts so failed operations
+// (and the Re-Tele rescue) resolve within one inter-packet interval of a
+// control study.
+func (s *Scenario) TuneControlTimeouts(d time.Duration) {
+	s.Tele.ControlTimeout = d
+	s.Drip.ControlTimeout = d
+	s.Rpl.ControlTimeout = d
+}

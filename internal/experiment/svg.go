@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"teleadjust/internal/radio"
+)
+
+// WriteTopologySVG renders the deployment, the converged collection tree
+// (parent edges) and, when TeleAdjusting runs, each node's path code — a
+// self-contained picture of what the coding scheme built.
+func (n *Net) WriteTopologySVG(w io.Writer) error {
+	minX, minY, maxX, maxY := n.Dep.Bounds()
+	const (
+		margin = 40.0
+		maxDim = 900.0
+	)
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	scale := math.Min((maxDim-2*margin)/spanX, (maxDim-2*margin)/spanY)
+	width := spanX*scale + 2*margin
+	height := spanY*scale + 2*margin
+	px := func(i int) (float64, float64) {
+		p := n.Dep.Positions[i]
+		return (p.X-minX)*scale + margin, (p.Y-minY)*scale + margin
+	}
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, `<rect width="100%" height="100%" fill="white"/>`)
+
+	// Tree edges.
+	for i := range n.Ctps {
+		p := n.Ctps[i].Parent()
+		if int(p) >= n.Dep.Len() {
+			continue
+		}
+		x1, y1 := px(i)
+		x2, y2 := px(int(p))
+		fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#888" stroke-width="1.2"/>`+"\n",
+			x1, y1, x2, y2)
+	}
+	// Nodes.
+	for i := range n.Dep.Positions {
+		x, y := px(i)
+		fill := "#4a90d9"
+		r := 5.0
+		if radio.NodeID(i) == n.Sink {
+			fill = "#d94a4a"
+			r = 8
+		}
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
+		label := fmt.Sprintf("%d", i)
+		if n.Teles[i] != nil {
+			if code, ok := n.Teles[i].Code(); ok {
+				label = fmt.Sprintf("%d:%s", i, code)
+			}
+		}
+		fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="9" font-family="monospace" fill="#333">%s</text>`+"\n",
+			x+7, y-4, label)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}

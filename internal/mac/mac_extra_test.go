@@ -1,0 +1,192 @@
+package mac
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/radio"
+)
+
+func TestCancelSendInFlight(t *testing.T) {
+	eng, macs, uppers := buildNet(t, 2, 5, DefaultConfig(), 0, 1)
+	// Receiver never acks (ignores everything): the stream would fail
+	// after the full round, but an implicit ack cancels it early.
+	f := &radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30}
+	if err := macs[0].Send(f); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(100*time.Millisecond, func() {
+		if !macs[0].CancelSend(f) {
+			t.Error("CancelSend did not find the in-flight frame")
+		}
+	})
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res := uppers[0].done
+	if len(res) != 1 || !res[0].ok {
+		t.Fatalf("cancelled send result = %+v, want success", res)
+	}
+	if res[0].acker != radio.BroadcastID {
+		t.Fatalf("cancelled send acker = %v, want BroadcastID", res[0].acker)
+	}
+	// The stream must have stopped well before the full LPL round.
+	if tx := macs[0].Stats().FrameTx; tx > 30 {
+		t.Fatalf("stream continued after cancel: %d frames", tx)
+	}
+}
+
+func TestCancelSendQueued(t *testing.T) {
+	eng, macs, uppers := buildNet(t, 2, 5, DefaultConfig(), 0, 1)
+	f1 := &radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30}
+	f2 := &radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30}
+	if err := macs[0].Send(f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := macs[0].Send(f2); err != nil {
+		t.Fatal(err)
+	}
+	if !macs[0].CancelSend(f2) {
+		t.Fatal("queued frame not cancellable")
+	}
+	if macs[0].QueueLen() != 0 {
+		t.Fatalf("queue len = %d after cancel", macs[0].QueueLen())
+	}
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Both frames resolved: f2 via cancel (ok), f1 via stream exhaustion.
+	if len(uppers[0].done) != 2 {
+		t.Fatalf("completions = %d, want 2", len(uppers[0].done))
+	}
+}
+
+func TestCancelSendUnknownFrame(t *testing.T) {
+	_, macs, _ := buildNet(t, 2, 5, DefaultConfig(), 0, 1)
+	if macs[0].CancelSend(&radio.Frame{}) {
+		t.Fatal("cancelled a frame that was never sent")
+	}
+}
+
+func TestAckYieldOnBusyChannel(t *testing.T) {
+	// Three contenders with the SAME priority: the sub-slot jitter plus
+	// the CCA check at ack time must elect exactly one deliverer.
+	eng, macs, uppers := buildNet(t, 4, 5, DefaultConfig(), 0, 1, 2, 3)
+	for i := 1; i < 4; i++ {
+		uppers[i].classify = func(f *radio.Frame) Classification {
+			return Classification{Decision: AckAndDeliver, Prio: 3}
+		}
+	}
+	f := &radio.Frame{Kind: radio.FrameData, Dst: radio.BroadcastID, Size: 30}
+	if err := macs[0].Send(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for i := 1; i < 4; i++ {
+		delivered += len(uppers[i].delivered)
+	}
+	if delivered == 0 {
+		t.Fatal("nobody won the same-priority election")
+	}
+	if delivered > 2 {
+		t.Fatalf("%d same-priority contenders delivered; election too leaky", delivered)
+	}
+	if len(uppers[0].done) != 1 || !uppers[0].done[0].ok {
+		t.Fatalf("sender outcome %+v", uppers[0].done)
+	}
+}
+
+func TestBroadcastGapAdmitsUnicast(t *testing.T) {
+	// While node 0 streams a long broadcast, node 2 must still complete a
+	// unicast to node 1 by squeezing into the inter-copy gaps.
+	cfg := DefaultConfig()
+	eng, macs, uppers := buildNet(t, 3, 5, cfg, 0, 1, 2)
+	uppers[1].classify = acceptUnicast(1)
+	bro := &radio.Frame{
+		Kind:    radio.FrameData,
+		Dst:     radio.BroadcastID,
+		Size:    30,
+		Payload: noAckPayload{},
+	}
+	if err := macs[0].Send(bro); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(50*time.Millisecond, func() {
+		uni := &radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30, Payload: "hi"}
+		if err := macs[2].Send(uni); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(uppers[1].delivered) != 1 {
+		t.Fatal("unicast starved by concurrent broadcast stream")
+	}
+	res := uppers[2].done
+	if len(res) != 1 || !res[0].ok {
+		t.Fatalf("unicast outcome %+v", res)
+	}
+}
+
+func TestSleepAfterRxSavesEnergy(t *testing.T) {
+	// Node 2 overhears a long unicast stream addressed to node 1; with
+	// SleepAfterRx it naps through it, without it stays awake.
+	duty := func(sleepAfterRx bool) float64 {
+		cfg := DefaultConfig()
+		cfg.SleepAfterRx = sleepAfterRx
+		eng, macs, uppers := buildNet(t, 3, 5, cfg, 0)
+		uppers[1].classify = acceptUnicast(1)
+		uppers[2].classify = func(f *radio.Frame) Classification {
+			return Classification{Decision: Ignore}
+		}
+		// A train of unicasts 0→1 keeps the channel busy.
+		for i := 0; i < 6; i++ {
+			f := &radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30, Payload: i}
+			if err := macs[0].Send(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Run(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return macs[2].DutyCycle()
+	}
+	with := duty(true)
+	without := duty(false)
+	if with >= without {
+		t.Fatalf("SleepAfterRx did not reduce overhearing duty: with=%.3f without=%.3f", with, without)
+	}
+}
+
+func TestKillStopsEverything(t *testing.T) {
+	eng, macs, _ := buildNet(t, 2, 5, DefaultConfig(), 0)
+	if err := macs[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(10*time.Millisecond, func() { macs[0].Kill() })
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if macs[0].Busy() || macs[0].QueueLen() != 0 {
+		t.Fatal("MAC still active after Kill")
+	}
+}
+
+func TestSendAfterKillRefused(t *testing.T) {
+	eng, macs, _ := buildNet(t, 2, 5, DefaultConfig(), 0)
+	macs[0].Kill()
+	err := macs[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 10})
+	if err != ErrDead {
+		t.Fatalf("send after Kill = %v, want ErrDead", err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if macs[0].RadioOnTime() > time.Second {
+		t.Fatal("dead node's radio came back on")
+	}
+}

@@ -1,0 +1,97 @@
+// Package node provides the per-node runtime that lets several protocols
+// (CTP, TeleAdjusting, Drip, RPL) share one MAC instance: incoming frames
+// are dispatched to the protocol that owns their payload type, and send
+// completions are routed back to the protocol that sent them.
+package node
+
+import (
+	"fmt"
+
+	"teleadjust/internal/mac"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+)
+
+// Protocol is a network protocol running on a node. Protocols declare
+// ownership of payload types via Owns; the runtime routes MAC callbacks for
+// owned payloads to them.
+type Protocol interface {
+	// Owns reports whether this protocol handles the given frame payload.
+	Owns(payload any) bool
+	// Classify decides acceptance of an overheard frame (see mac.Upper).
+	Classify(f *radio.Frame) mac.Classification
+	// Deliver hands up an accepted frame.
+	Deliver(f *radio.Frame)
+	// OnSendDone reports the fate of a frame this protocol sent.
+	OnSendDone(f *radio.Frame, acker radio.NodeID, ok bool)
+}
+
+// Node binds a MAC to a set of protocols.
+type Node struct {
+	eng       *sim.Engine
+	mac       *mac.MAC
+	protocols []Protocol
+}
+
+var _ mac.Upper = (*Node)(nil)
+
+// New creates a node runtime over a MAC built elsewhere. The runtime
+// installs itself as the MAC's upper layer.
+func New(eng *sim.Engine, m *mac.MAC) *Node {
+	n := &Node{eng: eng, mac: m}
+	m.SetUpper(n)
+	return n
+}
+
+// ID returns the node id.
+func (n *Node) ID() radio.NodeID { return n.mac.ID() }
+
+// Engine returns the simulation engine.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// MAC returns the node's link layer.
+func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// Register adds a protocol to the dispatch table.
+func (n *Node) Register(p Protocol) {
+	n.protocols = append(n.protocols, p)
+}
+
+// Send transmits a frame through the MAC.
+func (n *Node) Send(f *radio.Frame) error {
+	if f.Payload == nil {
+		return fmt.Errorf("node %d: send without payload", n.ID())
+	}
+	return n.mac.Send(f)
+}
+
+func (n *Node) owner(payload any) Protocol {
+	for _, p := range n.protocols {
+		if p.Owns(payload) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Classify implements mac.Upper.
+func (n *Node) Classify(f *radio.Frame) mac.Classification {
+	if p := n.owner(f.Payload); p != nil {
+		return p.Classify(f)
+	}
+	return mac.Classification{Decision: mac.Ignore}
+}
+
+// Deliver implements mac.Upper.
+func (n *Node) Deliver(f *radio.Frame) {
+	if p := n.owner(f.Payload); p != nil {
+		p.Deliver(f)
+	}
+}
+
+// OnSendDone implements mac.Upper.
+func (n *Node) OnSendDone(f *radio.Frame, acker radio.NodeID, ok bool) {
+	if p := n.owner(f.Payload); p != nil {
+		p.OnSendDone(f, acker, ok)
+	}
+}

@@ -1,0 +1,154 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/mac"
+	"teleadjust/internal/node"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+// msgA and msgB are two distinct protocol payload types.
+type msgA struct{ v int }
+type msgB struct{ v int }
+
+func (msgA) NoAck() bool { return true }
+func (msgB) NoAck() bool { return true }
+
+// fakeProto records dispatched events for one payload type.
+type fakeProto struct {
+	owns      func(any) bool
+	delivered []*radio.Frame
+	sendDone  []*radio.Frame
+	classify  mac.Classification
+}
+
+func (p *fakeProto) Owns(payload any) bool { return p.owns(payload) }
+
+func (p *fakeProto) Classify(f *radio.Frame) mac.Classification { return p.classify }
+
+func (p *fakeProto) Deliver(f *radio.Frame) { p.delivered = append(p.delivered, f) }
+
+func (p *fakeProto) OnSendDone(f *radio.Frame, acker radio.NodeID, ok bool) {
+	p.sendDone = append(p.sendDone, f)
+}
+
+func buildPair(t *testing.T) (*sim.Engine, [2]*node.Node, [2]*mac.MAC) {
+	t.Helper()
+	eng := sim.NewEngine()
+	params := radio.DefaultParams()
+	params.ShadowSigmaDB = 0
+	med, err := radio.NewMedium(eng, topology.Line(2, 5), nil, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes [2]*node.Node
+	var macs [2]*mac.MAC
+	for i := 0; i < 2; i++ {
+		cfg := mac.DefaultConfig()
+		cfg.AlwaysOn = true
+		macs[i] = mac.New(eng, med.Radio(radio.NodeID(i)), cfg, sim.DeriveRNG(1, uint64(i)), nil)
+		nodes[i] = node.New(eng, macs[i])
+		macs[i].Start()
+	}
+	return eng, nodes, macs
+}
+
+func TestDispatchByPayloadType(t *testing.T) {
+	eng, nodes, _ := buildPair(t)
+	pa := &fakeProto{
+		owns:     func(p any) bool { _, ok := p.(msgA); return ok },
+		classify: mac.Classification{Decision: mac.Deliver},
+	}
+	pb := &fakeProto{
+		owns:     func(p any) bool { _, ok := p.(msgB); return ok },
+		classify: mac.Classification{Decision: mac.Deliver},
+	}
+	nodes[1].Register(pa)
+	nodes[1].Register(pb)
+
+	if err := nodes[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: radio.BroadcastID, Size: 20, Payload: msgA{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: radio.BroadcastID, Size: 20, Payload: msgB{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.delivered) != 1 || len(pb.delivered) != 1 {
+		t.Fatalf("deliveries A=%d B=%d, want 1 each", len(pa.delivered), len(pb.delivered))
+	}
+	if _, ok := pa.delivered[0].Payload.(msgA); !ok {
+		t.Fatal("protocol A received wrong payload type")
+	}
+}
+
+func TestUnownedPayloadIgnored(t *testing.T) {
+	eng, nodes, macs := buildPair(t)
+	pa := &fakeProto{
+		owns:     func(p any) bool { _, ok := p.(msgA); return ok },
+		classify: mac.Classification{Decision: mac.Deliver},
+	}
+	nodes[1].Register(pa)
+	// msgB has no owner at node 1: must be ignored silently.
+	if err := nodes[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: radio.BroadcastID, Size: 20, Payload: msgB{9}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.delivered) != 0 {
+		t.Fatal("protocol A received a payload it does not own")
+	}
+	_ = macs
+}
+
+func TestSendDoneRoutedToOwner(t *testing.T) {
+	eng, nodes, _ := buildPair(t)
+	pa := &fakeProto{
+		owns:     func(p any) bool { _, ok := p.(msgA); return ok },
+		classify: mac.Classification{Decision: mac.Deliver},
+	}
+	nodes[0].Register(pa)
+	nodes[1].Register(&fakeProto{
+		owns:     func(p any) bool { _, ok := p.(msgA); return ok },
+		classify: mac.Classification{Decision: mac.Deliver},
+	})
+	f := &radio.Frame{Kind: radio.FrameData, Dst: radio.BroadcastID, Size: 20, Payload: msgA{1}}
+	if err := nodes[0].Send(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(pa.sendDone) != 1 || pa.sendDone[0] != f {
+		t.Fatalf("send completion not routed: %v", pa.sendDone)
+	}
+}
+
+func TestSendWithoutPayloadErrors(t *testing.T) {
+	_, nodes, _ := buildPair(t)
+	if err := nodes[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 10}); err == nil {
+		t.Fatal("payload-less send accepted")
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	eng, nodes, macs := buildPair(t)
+	if nodes[0].ID() != 0 || nodes[1].ID() != 1 {
+		t.Fatal("wrong node ids")
+	}
+	if nodes[0].Engine() != eng {
+		t.Fatal("wrong engine")
+	}
+	if nodes[0].MAC() != macs[0] {
+		t.Fatal("wrong MAC")
+	}
+}

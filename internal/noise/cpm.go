@@ -1,0 +1,191 @@
+package noise
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Quantization for CPM: 1 dB bins over [-105, -40] dBm.
+const (
+	quantMinDBm = -105.0
+	quantBins   = 66
+)
+
+// Default CPM history lengths, longest first. The model backs off to
+// shorter histories (and finally the marginal) when a pattern was not seen
+// during training, which is the "closest pattern matching" behaviour.
+var defaultHistLens = []int{8, 4, 2, 1}
+
+// maxCatchUpSteps bounds how many 1 ms steps a lazy Source will simulate to
+// catch up with virtual time; beyond that the chain is resampled from the
+// marginal distribution (the chain mixes fast, so this is statistically
+// indistinguishable and keeps long idle gaps O(1)).
+const maxCatchUpSteps = 64
+
+// dist is a sparse categorical distribution over quantized noise bins.
+type dist struct {
+	bins   []uint8
+	counts []uint32
+	total  uint32
+}
+
+func (d *dist) add(bin uint8) {
+	for i, b := range d.bins {
+		if b == bin {
+			d.counts[i]++
+			d.total++
+			return
+		}
+	}
+	d.bins = append(d.bins, bin)
+	d.counts = append(d.counts, 1)
+	d.total++
+}
+
+func (d *dist) sample(rng *rand.Rand) uint8 {
+	if d.total == 0 {
+		return uint8(-quantMinDBm + quietFloorDBm) // quiet floor bin
+	}
+	target := rng.Uint32N(d.total)
+	var acc uint32
+	for i, c := range d.counts {
+		acc += c
+		if target < acc {
+			return d.bins[i]
+		}
+	}
+	return d.bins[len(d.bins)-1]
+}
+
+// Model is a trained CPM noise model. It is immutable after Train and safe
+// to share across all node Sources.
+type Model struct {
+	histLens []int
+	tables   []map[string]*dist // parallel to histLens
+	marginal dist
+}
+
+// Train builds a CPM model from a noise trace (dBm samples at 1 kHz).
+func Train(trace []float64) *Model {
+	m := &Model{histLens: defaultHistLens}
+	m.tables = make([]map[string]*dist, len(m.histLens))
+	for i := range m.tables {
+		m.tables[i] = make(map[string]*dist)
+	}
+	q := make([]uint8, len(trace))
+	for i, v := range trace {
+		q[i] = quantize(v)
+	}
+	for i, bin := range q {
+		m.marginal.add(bin)
+		for li, hl := range m.histLens {
+			if i < hl {
+				continue
+			}
+			key := string(q[i-hl : i])
+			d := m.tables[li][key]
+			if d == nil {
+				d = &dist{}
+				m.tables[li][key] = d
+			}
+			d.add(bin)
+		}
+	}
+	return m
+}
+
+// Patterns returns the number of distinct patterns at the longest history
+// length. Exposed for tests and diagnostics.
+func (m *Model) Patterns() int {
+	if len(m.tables) == 0 {
+		return 0
+	}
+	return len(m.tables[0])
+}
+
+func quantize(dbm float64) uint8 {
+	bin := int(dbm - quantMinDBm + 0.5)
+	if bin < 0 {
+		bin = 0
+	}
+	if bin >= quantBins {
+		bin = quantBins - 1
+	}
+	return uint8(bin)
+}
+
+func dequantize(bin uint8, rng *rand.Rand) float64 {
+	return quantMinDBm + float64(bin) + (rng.Float64() - 0.5)
+}
+
+// Source is a per-node noise stream driven by a shared Model. It is lazy:
+// ReadAt advances the underlying 1 kHz chain only as far as needed.
+type Source struct {
+	model *Model
+	rng   *rand.Rand
+	hist  []uint8
+	last  float64
+	step  int64 // chain position, in SamplePeriodMS units
+}
+
+// NewSource creates an independent noise stream. Different sources should
+// use different rng streams (see sim.DeriveRNG).
+func (m *Model) NewSource(rng *rand.Rand) *Source {
+	s := &Source{model: m, rng: rng, step: -1}
+	s.reseed()
+	return s
+}
+
+// reseed fills the history from the marginal distribution.
+func (s *Source) reseed() {
+	maxHist := s.model.histLens[0]
+	s.hist = s.hist[:0]
+	for i := 0; i < maxHist; i++ {
+		s.hist = append(s.hist, s.model.marginal.sample(s.rng))
+	}
+	s.last = dequantize(s.hist[len(s.hist)-1], s.rng)
+}
+
+// next advances the chain one step using closest-pattern matching.
+func (s *Source) next() float64 {
+	var bin uint8
+	matched := false
+	for li, hl := range s.model.histLens {
+		if hl > len(s.hist) {
+			continue
+		}
+		key := string(s.hist[len(s.hist)-hl:])
+		if d, ok := s.model.tables[li][key]; ok {
+			bin = d.sample(s.rng)
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		bin = s.model.marginal.sample(s.rng)
+	}
+	// Slide history.
+	copy(s.hist, s.hist[1:])
+	s.hist[len(s.hist)-1] = bin
+	s.last = dequantize(bin, s.rng)
+	return s.last
+}
+
+// ReadAt returns the noise floor (dBm) at virtual time t. Calls must be
+// monotone in t per Source; earlier times return the current value.
+func (s *Source) ReadAt(t time.Duration) float64 {
+	target := int64(t / (SamplePeriodMS * time.Millisecond))
+	if target <= s.step {
+		return s.last
+	}
+	steps := target - s.step
+	s.step = target
+	if steps > maxCatchUpSteps {
+		s.reseed()
+		return s.last
+	}
+	for i := int64(0); i < steps; i++ {
+		s.next()
+	}
+	return s.last
+}

@@ -1,0 +1,182 @@
+package noise
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/sim"
+)
+
+func TestGenerateTraceStats(t *testing.T) {
+	trace := GenerateTrace(200000, 1)
+	s := Stats(trace)
+	if s.Mean < -99 || s.Mean > -85 {
+		t.Fatalf("mean %v outside plausible band", s.Mean)
+	}
+	if s.Min < -105 {
+		t.Fatalf("min %v below physical floor", s.Min)
+	}
+	if s.Max > MeyerHeavy().BurstCapDBm+1 {
+		t.Fatalf("max %v above burst cap", s.Max)
+	}
+	if s.BurstFrac < 0.02 || s.BurstFrac > 0.4 {
+		t.Fatalf("burst fraction %v not heavy-tailed-like", s.BurstFrac)
+	}
+}
+
+func TestGenerateTraceDeterminism(t *testing.T) {
+	a := GenerateTrace(1000, 5)
+	b := GenerateTrace(1000, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, v := range []float64{-104.9, -98, -70.3, -45, -40} {
+		bin := quantize(v)
+		got := dequantize(bin, rng)
+		if diff := got - v; diff > 1.1 || diff < -1.1 {
+			t.Fatalf("round trip %v -> bin %d -> %v", v, bin, got)
+		}
+	}
+	if quantize(-300) != 0 {
+		t.Fatal("underflow not clamped")
+	}
+	if quantize(0) != quantBins-1 {
+		t.Fatal("overflow not clamped")
+	}
+}
+
+func TestTrainAndSample(t *testing.T) {
+	trace := GenerateTrace(100000, 2)
+	m := Train(trace)
+	if m.Patterns() == 0 {
+		t.Fatal("no patterns learned")
+	}
+	src := m.NewSource(sim.NewRNG(3))
+	// Sample a long run; check generated statistics roughly match training.
+	n := 50000
+	sum, bursts := 0.0, 0
+	for i := 0; i < n; i++ {
+		v := src.next()
+		if v < quantMinDBm-1 || v > MeyerHeavy().BurstCapDBm+2 {
+			t.Fatalf("sample %v out of range", v)
+		}
+		sum += v
+		if v > quietFloorDBm+6 {
+			bursts++
+		}
+	}
+	trainStats := Stats(trace)
+	genMean := sum / float64(n)
+	if diff := genMean - trainStats.Mean; diff > 3 || diff < -3 {
+		t.Fatalf("generated mean %v far from training mean %v", genMean, trainStats.Mean)
+	}
+	genBurst := float64(bursts) / float64(n)
+	if genBurst < trainStats.BurstFrac/3 || genBurst > trainStats.BurstFrac*3 {
+		t.Fatalf("generated burst frac %v vs training %v", genBurst, trainStats.BurstFrac)
+	}
+}
+
+func TestCPMTemporalCorrelation(t *testing.T) {
+	// Burst samples should be followed by burst samples more often than the
+	// marginal burst probability (that is the whole point of CPM).
+	trace := GenerateTrace(100000, 4)
+	m := Train(trace)
+	src := m.NewSource(sim.NewRNG(5))
+	const thresh = quietFloorDBm + 6
+	prev := src.next()
+	burstAfterBurst, burstCount, total, bursts := 0, 0, 0, 0
+	for i := 0; i < 50000; i++ {
+		v := src.next()
+		total++
+		if v > thresh {
+			bursts++
+		}
+		if prev > thresh {
+			burstCount++
+			if v > thresh {
+				burstAfterBurst++
+			}
+		}
+		prev = v
+	}
+	if burstCount == 0 || bursts == 0 {
+		t.Skip("no bursts generated; statistics unusable")
+	}
+	pCond := float64(burstAfterBurst) / float64(burstCount)
+	pMarg := float64(bursts) / float64(total)
+	if pCond <= pMarg*1.5 {
+		t.Fatalf("no temporal correlation: P(burst|burst)=%v vs P(burst)=%v", pCond, pMarg)
+	}
+}
+
+func TestSourceReadAtMonotone(t *testing.T) {
+	m := Train(GenerateTrace(20000, 6))
+	src := m.NewSource(sim.NewRNG(7))
+	v1 := src.ReadAt(10 * time.Millisecond)
+	v2 := src.ReadAt(10 * time.Millisecond)
+	if v1 != v2 {
+		t.Fatal("ReadAt at same time changed value")
+	}
+	// Large jumps must not hang (lazy catch-up cap).
+	done := make(chan struct{})
+	go func() {
+		src.ReadAt(10 * time.Hour)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("ReadAt with huge gap did not return promptly")
+	}
+}
+
+func TestSourceReadAtAdvances(t *testing.T) {
+	m := Train(GenerateTrace(20000, 8))
+	src := m.NewSource(sim.NewRNG(9))
+	seen := map[float64]bool{}
+	for i := 1; i <= 200; i++ {
+		seen[src.ReadAt(time.Duration(i)*5*time.Millisecond)] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("noise stream barely changes: %d unique of 200", len(seen))
+	}
+}
+
+func TestWifiInterfererDutyCycle(t *testing.T) {
+	w := NewWifiInterferer(sim.NewRNG(10), -55)
+	on, total := 0, 0
+	for i := 0; i < 200000; i++ {
+		ts := time.Duration(i) * 500 * time.Microsecond // 100 s
+		if w.InterferenceAt(ts) > -100 {
+			on++
+		}
+		total++
+	}
+	frac := float64(on) / float64(total)
+	if frac < 0.01 || frac > 0.5 {
+		t.Fatalf("wifi on-fraction %v implausible", frac)
+	}
+}
+
+func TestWifiInterfererPower(t *testing.T) {
+	w := NewWifiInterferer(sim.NewRNG(11), -55)
+	sawOn := false
+	for i := 0; i < 100000; i++ {
+		v := w.InterferenceAt(time.Duration(i) * time.Millisecond)
+		if v > -100 {
+			sawOn = true
+			if v != -55 {
+				t.Fatalf("on power = %v, want -55", v)
+			}
+		}
+	}
+	if !sawOn {
+		t.Fatal("interferer never turned on in 100s")
+	}
+}

@@ -1,0 +1,140 @@
+// Package noise models the radio noise environment. It provides (1) a
+// synthetic generator of meyer-heavy-like noise traces (the paper's TOSSIM
+// runs use the meyer-heavy.txt trace, which is not redistributable), (2) the
+// CPM closest-pattern-matching noise model trained on such a trace, and (3)
+// a WiFi interferer used for the "channel 19" experiments.
+//
+// All power values are in dBm unless noted otherwise.
+package noise
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"teleadjust/internal/sim"
+)
+
+// SamplePeriodMS is the trace sampling period in milliseconds, matching
+// the CPM paper's 1 kHz sampling.
+const SamplePeriodMS = 1
+
+const (
+	quietFloorDBm = -98.0
+	quietSigmaDB  = 1.2
+)
+
+// TraceProfile parameterizes the two-state semi-Markov noise generator.
+type TraceProfile struct {
+	// FloorDBm / FloorSigmaDB describe the quiet state.
+	FloorDBm, FloorSigmaDB float64
+	// BurstBaseDBm + Exp(BurstMeanDB) capped at BurstCapDBm describes
+	// burst amplitudes.
+	BurstBaseDBm, BurstMeanDB, BurstCapDBm float64
+	// MeanQuietDwell / MeanBurstDwell are state dwell times in samples.
+	MeanQuietDwell, MeanBurstDwell float64
+}
+
+// MeyerHeavy mimics the marginal and burst statistics of the meyer-heavy
+// trace: a quiet floor near -98 dBm with frequent bursty excursions up to
+// roughly -45 dBm. Used for the paper's TOSSIM-style simulations.
+func MeyerHeavy() TraceProfile {
+	return TraceProfile{
+		FloorDBm:       quietFloorDBm,
+		FloorSigmaDB:   quietSigmaDB,
+		BurstBaseDBm:   -92,
+		BurstMeanDB:    14,
+		BurstCapDBm:    -45,
+		MeanQuietDwell: 180,
+		MeanBurstDwell: 24,
+	}
+}
+
+// QuietChannel models a clean 802.15.4 channel (the testbed's channel 26,
+// which no WiFi overlaps): the same floor with rare, small excursions.
+func QuietChannel() TraceProfile {
+	return TraceProfile{
+		FloorDBm:       quietFloorDBm,
+		FloorSigmaDB:   quietSigmaDB,
+		BurstBaseDBm:   -96,
+		BurstMeanDB:    4,
+		BurstCapDBm:    -85,
+		MeanQuietDwell: 2000,
+		MeanBurstDwell: 10,
+	}
+}
+
+// GenerateTrace produces n samples of meyer-heavy-like noise.
+func GenerateTrace(n int, seed uint64) []float64 {
+	return GenerateTraceProfile(n, seed, MeyerHeavy())
+}
+
+// GenerateTraceProfile produces n samples of synthetic noise using a
+// two-state semi-Markov process (quiet / bursty) with the given profile.
+func GenerateTraceProfile(n int, seed uint64, p TraceProfile) []float64 {
+	rng := sim.NewRNG(seed)
+	out := make([]float64, n)
+	inBurst := false
+	dwell := geometric(rng, p.MeanQuietDwell)
+	for i := range out {
+		if dwell == 0 {
+			inBurst = !inBurst
+			if inBurst {
+				dwell = geometric(rng, p.MeanBurstDwell)
+			} else {
+				dwell = geometric(rng, p.MeanQuietDwell)
+			}
+		} else {
+			dwell--
+		}
+		if inBurst {
+			v := p.BurstBaseDBm + rng.ExpFloat64()*p.BurstMeanDB
+			if v > p.BurstCapDBm {
+				v = p.BurstCapDBm
+			}
+			out[i] = v
+		} else {
+			out[i] = p.FloorDBm + rng.NormFloat64()*p.FloorSigmaDB
+		}
+	}
+	return out
+}
+
+// geometric returns a geometric dwell time with the given mean.
+func geometric(rng *rand.Rand, mean float64) int {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := int(math.Log(u) / math.Log(1-1/mean))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// TraceStats summarizes a noise trace.
+type TraceStats struct {
+	Mean, Min, Max float64
+	// BurstFrac is the fraction of samples more than 6 dB above the floor.
+	BurstFrac float64
+}
+
+// Stats computes summary statistics of a trace.
+func Stats(trace []float64) TraceStats {
+	if len(trace) == 0 {
+		return TraceStats{}
+	}
+	s := TraceStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	bursts := 0
+	for _, v := range trace {
+		s.Mean += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+		if v > quietFloorDBm+6 {
+			bursts++
+		}
+	}
+	s.Mean /= float64(len(trace))
+	s.BurstFrac = float64(bursts) / float64(len(trace))
+	return s
+}

@@ -1,0 +1,41 @@
+package radio
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+// BenchmarkBroadcastBlast measures the per-transmission cost of the medium
+// with a dense neighborhood (the hot path of every simulation).
+func BenchmarkBroadcastBlast(b *testing.B) {
+	eng := sim.NewEngine()
+	params := DefaultParams()
+	params.RefLossDB = 35 // dense connectivity
+	m, err := NewMedium(eng, topology.TightGrid(1), nil, params, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < m.NumNodes(); i++ {
+		m.Radio(NodeID(i)).SetOn(true)
+	}
+	tx := m.Radio(NodeID(112)) // center
+	f := &Frame{Kind: FrameData, Src: 112, Dst: BroadcastID, Size: 30}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Transmit(f, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(eng.Now() + 10*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPRRCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		prrFromSNR(1.5, 40)
+	}
+}

@@ -1,0 +1,76 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+func TestEnergyBreakdown(t *testing.T) {
+	eng := sim.NewEngine()
+	params := DefaultParams()
+	params.ShadowSigmaDB = 0
+	m, err := NewMedium(eng, topology.Line(2, 5), nil, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Radio(0)
+	r.SetOn(true)
+	// 10 frames of 30 bytes: airtime 36B × 32 µs = 1.152 ms each.
+	for i := 0; i < 10; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		eng.Schedule(at, func() {
+			if err := r.Transmit(&Frame{Kind: FrameData, Size: 30}, 0); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	eng.Schedule(200*time.Millisecond, func() { r.SetOn(false) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	wantTx := 10 * params.Airtime(30)
+	if got := r.TxAirtime(); got != wantTx {
+		t.Fatalf("tx airtime %v, want %v", got, wantTx)
+	}
+	model := DefaultEnergyModel()
+	e := model.Energy(r, time.Second)
+	if e.TxJoules <= 0 || e.RxJoules <= 0 || e.SleepJoules <= 0 {
+		t.Fatalf("non-positive components: %+v", e)
+	}
+	// Sanity: tx energy = 3V × 17.4mA × 11.52ms ≈ 0.60 mJ.
+	if math.Abs(e.TxJoules-3.0*0.0174*wantTx.Seconds()) > 1e-9 {
+		t.Fatalf("tx energy %v", e.TxJoules)
+	}
+	// Listening dominates: radio was on 200 ms, transmitting only ~12 ms.
+	if e.RxJoules < e.TxJoules {
+		t.Fatalf("rx %v should exceed tx %v here", e.RxJoules, e.TxJoules)
+	}
+	if e.Total() <= 0 {
+		t.Fatal("zero total")
+	}
+}
+
+func TestEnergySleepOnlyIsCheap(t *testing.T) {
+	eng := sim.NewEngine()
+	params := DefaultParams()
+	m, err := NewMedium(eng, topology.Line(2, 5), nil, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	model := DefaultEnergyModel()
+	e := model.Energy(m.Radio(0), time.Second)
+	if e.TxJoules != 0 || e.RxJoules != 0 {
+		t.Fatalf("off radio burned active energy: %+v", e)
+	}
+	// 3V × 20µA × 1s = 60 µJ.
+	if math.Abs(e.SleepJoules-60e-6) > 1e-9 {
+		t.Fatalf("sleep energy %v, want 60µJ", e.SleepJoules)
+	}
+}

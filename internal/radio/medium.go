@@ -1,0 +1,225 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"teleadjust/internal/noise"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+// Medium is the shared wireless channel. It owns per-directed-link gains,
+// per-node noise sources, and the set of in-flight transmissions, and it
+// adjudicates packet reception with SINR and the CC2420 PRR curve.
+type Medium struct {
+	eng    *sim.Engine
+	params Params
+	radios []*Radio
+
+	// gainDB[i][j] is the static channel gain (negative path loss +
+	// shadowing) from i to j in dB; receivedPower = txPower + gainDB.
+	gainDB [][]float64
+	// fading holds per-directed-link slow fading processes (nil when
+	// disabled): gainAt = gainDB + Σ amp·sin(2π t/T + φ).
+	fading [][]fadeProc
+	// neighbors[i] lists j with gain above the interference floor at max
+	// TX power, pruning the O(N) blast per transmission.
+	neighbors [][]NodeID
+
+	interferer *noise.WifiInterferer
+	jitterRNG  *rand.Rand
+	traceFn    func(TraceEvent)
+	seq        uint64 // transmission id counter
+}
+
+// NewMedium builds a medium over the deployment. Each node gets an
+// independent CPM noise source derived from the model; pass a nil model
+// for a constant -98 dBm floor (useful in unit tests).
+func NewMedium(eng *sim.Engine, dep *topology.Deployment, model *noise.Model, params Params, seed uint64) (*Medium, error) {
+	if err := dep.Validate(); err != nil {
+		return nil, err
+	}
+	n := dep.Len()
+	if n > int(BroadcastID) {
+		return nil, fmt.Errorf("radio: %d nodes exceed address space", n)
+	}
+	m := &Medium{
+		eng:       eng,
+		params:    params,
+		jitterRNG: sim.DeriveRNG(seed, 0xf457),
+	}
+	shadowRNG := sim.DeriveRNG(seed, 0xface)
+	m.gainDB = make([][]float64, n)
+	for i := range m.gainDB {
+		m.gainDB[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := dep.Positions[i].Distance(dep.Positions[j])
+			m.gainDB[i][j] = -params.PathLossDB(d) + shadowRNG.NormFloat64()*params.ShadowSigmaDB
+		}
+	}
+	if params.FadingSigmaDB > 0 {
+		fadeRNG := sim.DeriveRNG(seed, 0xfade2)
+		m.fading = make([][]fadeProc, n)
+		span := params.FadingMaxPeriod - params.FadingMinPeriod
+		for i := range m.fading {
+			m.fading[i] = make([]fadeProc, n)
+			for j := range m.fading[i] {
+				if i == j {
+					continue
+				}
+				// Two incommensurate sinusoids approximate a slow random
+				// process with RMS ≈ FadingSigmaDB.
+				amp := params.FadingSigmaDB
+				m.fading[i][j] = fadeProc{
+					amp1:    amp,
+					amp2:    amp * 0.6,
+					period1: params.FadingMinPeriod + time.Duration(fadeRNG.Int64N(int64(span)+1)),
+					period2: params.FadingMinPeriod + time.Duration(fadeRNG.Int64N(int64(span)+1)),
+					phase1:  fadeRNG.Float64() * 2 * math.Pi,
+					phase2:  fadeRNG.Float64() * 2 * math.Pi,
+				}
+			}
+		}
+	}
+	m.neighbors = make([][]NodeID, n)
+	fadeHeadroom := 1.6 * params.FadingSigmaDB
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if params.MaxTxPowerDBm+m.gainDB[i][j]+fadeHeadroom >= params.InterferenceFloorDBm {
+				m.neighbors[i] = append(m.neighbors[i], NodeID(j))
+			}
+		}
+	}
+	m.radios = make([]*Radio, n)
+	for i := 0; i < n; i++ {
+		r := &Radio{
+			medium: m,
+			id:     NodeID(i),
+			rng:    sim.DeriveRNG(seed, 0x10000+uint64(i)),
+		}
+		if model != nil {
+			r.noise = model.NewSource(sim.DeriveRNG(seed, uint64(i)+1))
+		}
+		m.radios[i] = r
+	}
+	return m, nil
+}
+
+// SetInterferer installs a WiFi interference process affecting all nodes.
+func (m *Medium) SetInterferer(w *noise.WifiInterferer) { m.interferer = w }
+
+// Radio returns the radio attached to node id.
+func (m *Medium) Radio(id NodeID) *Radio { return m.radios[id] }
+
+// NumNodes returns the number of attached radios.
+func (m *Medium) NumNodes() int { return len(m.radios) }
+
+// Params returns the physical-layer parameters.
+func (m *Medium) Params() Params { return m.params }
+
+// GainDB returns the static channel gain from one node to another.
+func (m *Medium) GainDB(from, to NodeID) float64 { return m.gainDB[from][to] }
+
+// fadeProc is a slow per-link fading process.
+type fadeProc struct {
+	amp1, amp2       float64
+	period1, period2 time.Duration
+	phase1, phase2   float64
+}
+
+func (f *fadeProc) at(t time.Duration) float64 {
+	if f.period1 == 0 {
+		return 0
+	}
+	return f.amp1*math.Sin(2*math.Pi*float64(t)/float64(f.period1)+f.phase1) +
+		f.amp2*math.Sin(2*math.Pi*float64(t)/float64(f.period2)+f.phase2)
+}
+
+// gainAt returns the instantaneous channel gain including fading.
+func (m *Medium) gainAt(from, to NodeID, t time.Duration) float64 {
+	g := m.gainDB[from][to]
+	if m.fading != nil {
+		g += m.fading[from][to].at(t)
+	}
+	return g
+}
+
+// ExpectedPRR returns the interference-free packet reception ratio for a
+// frame of sizeBytes sent from→to at txPowerDBm over the quiet noise floor.
+// This is the controller's "global topology knowledge" view used by the
+// destination-unreachable countermeasure and by tests.
+func (m *Medium) ExpectedPRR(from, to NodeID, txPowerDBm float64, sizeBytes int) float64 {
+	rx := txPowerDBm + m.gainDB[from][to]
+	if rx < m.params.SensitivityDBm {
+		return 0
+	}
+	snr := dbmToMW(rx) / dbmToMW(quietFloorDBm)
+	return prrFromSNR(snr, sizeBytes+m.params.PhyOverheadBytes)
+}
+
+// quietFloorDBm is the nominal quiet noise floor used for the analytic
+// ExpectedPRR view (the live simulation samples CPM noise instead).
+const quietFloorDBm = -98.0
+
+// noiseAt returns total non-802.15.4 noise power (mW) at node id.
+func (m *Medium) noiseAt(id NodeID, t time.Duration) float64 {
+	var dbm float64 = quietFloorDBm
+	if src := m.radios[id].noise; src != nil {
+		dbm = src.ReadAt(t)
+	}
+	total := dbmToMW(dbm)
+	if m.interferer != nil {
+		total += dbmToMW(m.interferer.InterferenceAt(t))
+	}
+	return total
+}
+
+// transmission is an in-flight frame on the air.
+type transmission struct {
+	id    uint64
+	src   NodeID
+	frame *Frame
+	power float64 // dBm at transmitter
+	end   time.Duration
+}
+
+// startTransmission is called by Radio.Transmit. It notifies every radio in
+// range: awake listeners lock on; everyone else records interference.
+func (m *Medium) startTransmission(src *Radio, f *Frame, powerDBm float64) *transmission {
+	m.seq++
+	tx := &transmission{
+		id:    m.seq,
+		src:   src.id,
+		frame: f,
+		power: powerDBm,
+		end:   m.eng.Now() + m.params.Airtime(f.Size),
+	}
+	m.trace(TraceEvent{Kind: TraceTxStart, Node: src.id, Frame: f})
+	now := m.eng.Now()
+	for _, nid := range m.neighbors[src.id] {
+		r := m.radios[nid]
+		rxPower := powerDBm + m.gainAt(src.id, nid, now)
+		if m.params.TxJitterSigmaDB > 0 {
+			rxPower += m.jitterRNG.NormFloat64() * m.params.TxJitterSigmaDB
+		}
+		r.onAirStart(tx, rxPower)
+	}
+	m.eng.Schedule(m.params.Airtime(f.Size), func() {
+		for _, nid := range m.neighbors[src.id] {
+			m.radios[nid].onAirEnd(tx)
+		}
+		src.txDone(tx)
+	})
+	return tx
+}

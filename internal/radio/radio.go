@@ -1,0 +1,261 @@
+package radio
+
+import (
+	"errors"
+	"math/rand/v2"
+	"time"
+)
+
+// State is the radio state machine state.
+type State uint8
+
+// Radio states.
+const (
+	StateOff State = iota + 1
+	StateListening
+	StateReceiving
+	StateTransmitting
+)
+
+// Errors returned by Transmit.
+var (
+	ErrRadioOff = errors.New("radio: transmit while off")
+	ErrTxBusy   = errors.New("radio: transmit while already transmitting")
+)
+
+// Handler receives radio events. MAC layers implement it.
+type Handler interface {
+	// OnFrame delivers a successfully decoded frame. The frame is shared
+	// with other receivers and must be treated as read-only.
+	OnFrame(f *Frame)
+	// OnTxDone signals the end of a transmission started with Transmit.
+	OnTxDone()
+}
+
+// Counters aggregates per-radio traffic statistics.
+type Counters struct {
+	TxData      uint64
+	TxAck       uint64
+	RxDelivered uint64
+	RxCorrupted uint64
+}
+
+// Radio is one node's transceiver. All methods must be called from engine
+// event context (single-goroutine simulation).
+type Radio struct {
+	medium  *Medium
+	id      NodeID
+	noise   noiseSource
+	rng     *rand.Rand
+	handler Handler
+
+	state State
+	// air tracks the received power (mW) of every in-flight transmission
+	// audible at this node, keyed by transmission id. Maintained even
+	// while off so CCA is correct right after waking.
+	air map[uint64]float64
+
+	rx    *rxContext
+	curTx *transmission
+
+	onSince   time.Duration
+	onTime    time.Duration
+	txAirtime time.Duration
+
+	counters Counters
+}
+
+// noiseSource abstracts the CPM source so tests can run without a model.
+type noiseSource interface {
+	ReadAt(t time.Duration) float64
+}
+
+type rxContext struct {
+	tx          *transmission
+	signalMW    float64
+	maxInterfMW float64
+}
+
+// ID returns the node id this radio belongs to.
+func (r *Radio) ID() NodeID { return r.id }
+
+// Params returns the physical-layer parameters of the medium.
+func (r *Radio) Params() Params { return r.medium.params }
+
+// SetHandler installs the MAC-layer event handler.
+func (r *Radio) SetHandler(h Handler) { r.handler = h }
+
+// State returns the current radio state.
+func (r *Radio) State() State {
+	if r.state == 0 {
+		return StateOff
+	}
+	return r.state
+}
+
+// On reports whether the radio is powered.
+func (r *Radio) On() bool { return r.State() != StateOff }
+
+// SetOn powers the radio up or down. Powering down aborts any reception in
+// progress; powering down while transmitting is a protocol-stack bug and
+// panics.
+func (r *Radio) SetOn(on bool) {
+	now := r.medium.eng.Now()
+	switch {
+	case on && r.State() == StateOff:
+		r.state = StateListening
+		r.onSince = now
+	case !on && r.State() != StateOff:
+		if r.state == StateTransmitting {
+			panic("radio: SetOn(false) during transmission")
+		}
+		r.rx = nil
+		r.state = StateOff
+		r.onTime += now - r.onSince
+	}
+}
+
+// ForceOff powers the radio down unconditionally, aborting any reception
+// and abandoning any transmission in progress (a node dying mid-frame; the
+// energy already on the air completes at the medium's discretion).
+func (r *Radio) ForceOff() {
+	if r.State() == StateOff {
+		return
+	}
+	r.rx = nil
+	r.curTx = nil
+	r.onTime += r.medium.eng.Now() - r.onSince
+	r.state = StateOff
+}
+
+// OnTime returns cumulative powered time (the duty-cycle numerator).
+func (r *Radio) OnTime() time.Duration {
+	t := r.onTime
+	if r.State() != StateOff {
+		t += r.medium.eng.Now() - r.onSince
+	}
+	return t
+}
+
+// Counters returns a copy of the traffic counters.
+func (r *Radio) Counters() Counters { return r.counters }
+
+// CCABusy samples clear-channel assessment: true when the total energy at
+// the antenna exceeds the CCA threshold. The radio must be on.
+func (r *Radio) CCABusy() bool {
+	if r.State() == StateOff {
+		return false
+	}
+	total := r.medium.noiseAt(r.id, r.medium.eng.Now())
+	for _, p := range r.air {
+		total += p
+	}
+	return mwToDBm(total) > r.medium.params.CCAThresholdDBm
+}
+
+// Transmit puts frame f on the air at powerDBm. The handler's OnTxDone
+// fires when the frame leaves the air. Any reception in progress is
+// abandoned (the MAC performs CCA before transmitting, so this models a
+// deliberate decision, not an accident).
+func (r *Radio) Transmit(f *Frame, powerDBm float64) error {
+	switch r.State() {
+	case StateOff:
+		return ErrRadioOff
+	case StateTransmitting:
+		return ErrTxBusy
+	}
+	r.rx = nil
+	r.state = StateTransmitting
+	if f.Kind == FrameAck {
+		r.counters.TxAck++
+	} else {
+		r.counters.TxData++
+	}
+	r.txAirtime += r.medium.params.Airtime(f.Size)
+	r.curTx = r.medium.startTransmission(r, f, powerDBm)
+	return nil
+}
+
+// Transmitting reports whether a transmission is in flight.
+func (r *Radio) Transmitting() bool { return r.State() == StateTransmitting }
+
+// onAirStart is called by the medium when a transmission begins in range.
+func (r *Radio) onAirStart(tx *transmission, rxPowerDBm float64) {
+	if r.air == nil {
+		r.air = make(map[uint64]float64, 8)
+	}
+	mw := dbmToMW(rxPowerDBm)
+	r.air[tx.id] = mw
+	switch r.State() {
+	case StateListening:
+		if rxPowerDBm >= r.medium.params.SensitivityDBm {
+			// Lock onto this frame; everything else on the air interferes.
+			ctx := &rxContext{tx: tx, signalMW: mw}
+			ctx.maxInterfMW = r.interferenceMW(tx.id)
+			r.rx = ctx
+			r.state = StateReceiving
+		}
+	case StateReceiving:
+		if r.rx != nil {
+			if i := r.interferenceMW(r.rx.tx.id); i > r.rx.maxInterfMW {
+				r.rx.maxInterfMW = i
+			}
+		}
+	}
+}
+
+// interferenceMW sums audible power excluding the given transmission.
+func (r *Radio) interferenceMW(exclude uint64) float64 {
+	var sum float64
+	for id, p := range r.air {
+		if id != exclude {
+			sum += p
+		}
+	}
+	return sum
+}
+
+// onAirEnd is called by the medium when a transmission leaves the air.
+func (r *Radio) onAirEnd(tx *transmission) {
+	delete(r.air, tx.id)
+	if r.State() != StateReceiving || r.rx == nil || r.rx.tx != tx {
+		return
+	}
+	ctx := r.rx
+	r.rx = nil
+	r.state = StateListening
+	nowNoise := r.medium.noiseAt(r.id, r.medium.eng.Now())
+	snr := ctx.signalMW / (nowNoise + ctx.maxInterfMW)
+	prr := prrFromSNR(snr, tx.frame.Size+r.medium.params.PhyOverheadBytes)
+	if ctx.maxInterfMW > 0 {
+		// Capture gate against co-channel 802.15.4 frames.
+		sir := ctx.signalMW / ctx.maxInterfMW
+		if mwToDBm(sir) < r.medium.params.CaptureThresholdDB {
+			prr = 0
+		}
+	}
+	if r.rng.Float64() < prr {
+		r.counters.RxDelivered++
+		r.medium.trace(TraceEvent{Kind: TraceRxOK, Node: r.id, Frame: tx.frame, SINRdB: mwToDBm(snr)})
+		if r.handler != nil {
+			r.handler.OnFrame(tx.frame)
+		}
+	} else {
+		r.counters.RxCorrupted++
+		r.medium.trace(TraceEvent{Kind: TraceRxCorrupt, Node: r.id, Frame: tx.frame, SINRdB: mwToDBm(snr)})
+	}
+}
+
+// txDone is called by the medium when this radio's transmission ends.
+func (r *Radio) txDone(tx *transmission) {
+	if r.curTx != tx {
+		return
+	}
+	r.curTx = nil
+	if r.state == StateTransmitting {
+		r.state = StateListening
+	}
+	if r.handler != nil {
+		r.handler.OnTxDone()
+	}
+}

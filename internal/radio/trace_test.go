@@ -1,0 +1,91 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"teleadjust/internal/sim"
+	"teleadjust/internal/topology"
+)
+
+func TestTraceCapturesTxAndRx(t *testing.T) {
+	eng := sim.NewEngine()
+	params := DefaultParams()
+	params.ShadowSigmaDB = 0
+	m, err := NewMedium(eng, topology.Line(2, 5), nil, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewTraceRing(16)
+	m.SetTraceFn(ring.Record)
+	m.Radio(0).SetOn(true)
+	m.Radio(1).SetOn(true)
+	if err := m.Radio(0).Transmit(&Frame{Kind: FrameData, Src: 0, Dst: 1, Seq: 7, Size: 30}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	evs := ring.Events()
+	if len(evs) != 2 {
+		t.Fatalf("captured %d events, want tx+rx", len(evs))
+	}
+	if evs[0].Kind != TraceTxStart || evs[0].Node != 0 {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[1].Kind != TraceRxOK || evs[1].Node != 1 {
+		t.Fatalf("second event = %+v", evs[1])
+	}
+	if evs[1].SINRdB < 5 {
+		t.Fatalf("recorded SINR %.1f dB implausibly low for a 5 m link", evs[1].SINRdB)
+	}
+	if !strings.Contains(evs[0].Format(), "tx") || !strings.Contains(evs[1].Format(), "rx-ok") {
+		t.Fatalf("formatting broken: %q / %q", evs[0].Format(), evs[1].Format())
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	ring := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		ring.Record(TraceEvent{At: time.Duration(i), Kind: TraceTxStart, Frame: &Frame{}})
+	}
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.At != time.Duration(6+i) {
+			t.Fatalf("ring order wrong: %v", evs)
+		}
+	}
+}
+
+func TestTraceRingDump(t *testing.T) {
+	ring := NewTraceRing(4)
+	ring.Record(TraceEvent{Kind: TraceRxCorrupt, Frame: &Frame{Src: 3}})
+	var sb strings.Builder
+	if err := ring.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rx-bad") {
+		t.Fatalf("dump missing event: %q", sb.String())
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	params := DefaultParams()
+	params.ShadowSigmaDB = 0
+	m, err := NewMedium(eng, topology.Line(2, 5), nil, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Radio(0).SetOn(true)
+	if err := m.Radio(0).Transmit(&Frame{Kind: FrameData, Size: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err) // no trace fn installed: must not panic
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	eng := NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			if err := eng.Run(eng.Now() + time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTimerRestart(b *testing.B) {
+	eng := NewEngine()
+	tm := NewTimer(eng, func() {})
+	for i := 0; i < b.N; i++ {
+		tm.Start(time.Millisecond)
+	}
+}
+
+func BenchmarkDeriveRNG(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		DeriveRNG(42, uint64(i))
+	}
+}

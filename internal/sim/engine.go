@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event heap, cancellable timers, and seeded random
+// number streams. Every other substrate in this repository (radio, MAC,
+// routing, application workloads) is driven by this engine so that whole
+// simulated networks are reproducible from a single seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly via
+// Stop before the run limit was reached.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it before it fires.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	idx  int // heap index; -1 when not queued
+	dead bool
+}
+
+// At reports the virtual time this event is (or was) scheduled to fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel reports whether the event was
+// still pending.
+func (e *Event) Cancel() bool {
+	if e == nil || e.dead || e.idx < 0 {
+		return false
+	}
+	e.dead = true
+	return true
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+
+// Engine is a discrete-event scheduler with a virtual clock. The zero value
+// is not usable; construct with NewEngine.
+//
+// Engine is not safe for concurrent use: simulations here are single
+// goroutine by design, which keeps them deterministic.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// processed counts events dispatched since construction.
+	processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events dispatched so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule enqueues fn to run after delay (relative to Now). A negative
+// delay is treated as zero. Events scheduled for the same instant fire in
+// scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: Schedule called with nil function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.scheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt enqueues fn to run at the absolute virtual time at. Times in
+// the past are clamped to Now.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: ScheduleAt called with nil function")
+	}
+	if at < e.now {
+		at = e.now
+	}
+	return e.scheduleAt(at, fn)
+}
+
+func (e *Engine) scheduleAt(at time.Duration, fn func()) *Event {
+	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue is empty or the
+// clock would pass until. Events scheduled exactly at until still fire. It
+// returns ErrStopped if Stop was called, nil otherwise.
+func (e *Engine) Run(until time.Duration) error {
+	e.stopped = false
+	for e.queue.Len() > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.queue[0]
+		if next.at > until {
+			// Advance the clock to the horizon so repeated Run calls
+			// observe monotonic time.
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		if next.at < e.now {
+			return fmt.Errorf("sim: event time %v before clock %v", next.at, e.now)
+		}
+		e.now = next.at
+		next.idx = -1
+		e.processed++
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll dispatches events until the queue is empty, with a safety cap on
+// the number of events to guard against runaway self-scheduling loops.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	start := e.processed
+	for e.queue.Len() > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		if e.processed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events", maxEvents)
+		}
+		next := heap.Pop(&e.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.idx = -1
+		e.processed++
+		next.fn()
+	}
+	return nil
+}
+
+// QueueLen returns the number of queued (possibly cancelled) events.
+func (e *Engine) QueueLen() int { return e.queue.Len() }
+
+// eventQueue implements heap.Interface ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	eng.Schedule(3*time.Millisecond, func() { got = append(got, 3) })
+	eng.Schedule(1*time.Millisecond, func() { got = append(got, 1) })
+	eng.Schedule(2*time.Millisecond, func() { got = append(got, 2) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	eng := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(5*time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineClockAdvances(t *testing.T) {
+	eng := NewEngine()
+	var at time.Duration
+	eng.Schedule(7*time.Millisecond, func() { at = eng.Now() })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != 7*time.Millisecond {
+		t.Fatalf("Now inside event = %v, want 7ms", at)
+	}
+	if eng.Now() != time.Second {
+		t.Fatalf("Now after Run = %v, want horizon 1s", eng.Now())
+	}
+}
+
+func TestEngineHorizonExcludesLaterEvents(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.Schedule(2*time.Second, func() { fired = true })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if err := eng.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestEventCancel(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	ev := eng.Schedule(time.Millisecond, func() { fired = true })
+	if !ev.Cancel() {
+		t.Fatal("Cancel on pending event returned false")
+	}
+	if ev.Cancel() {
+		t.Fatal("second Cancel returned true")
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	eng.Schedule(time.Millisecond, func() { count++; eng.Stop() })
+	eng.Schedule(2*time.Millisecond, func() { count++ })
+	if err := eng.Run(time.Second); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.Schedule(time.Millisecond, func() {
+		eng.Schedule(-time.Hour, func() { fired = true })
+	})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Fatal("negative-delay event did not fire")
+	}
+}
+
+func TestSelfScheduling(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 100 {
+			eng.Schedule(time.Millisecond, step)
+		}
+	}
+	eng.Schedule(0, step)
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+}
+
+func TestRunAllCap(t *testing.T) {
+	eng := NewEngine()
+	var loop func()
+	loop = func() { eng.Schedule(time.Millisecond, loop) }
+	eng.Schedule(0, loop)
+	if err := eng.RunAll(50); err == nil {
+		t.Fatal("RunAll with runaway loop returned nil error")
+	}
+}
+
+// Property: events always fire in nondecreasing time order regardless of
+// insertion order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := NewEngine()
+		var times []time.Duration
+		for _, d := range delays {
+			eng.Schedule(time.Duration(d)*time.Microsecond, func() {
+				times = append(times, eng.Now())
+			})
+		}
+		if err := eng.Run(time.Hour); err != nil {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerRestart(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	tm := NewTimer(eng, func() { count++ })
+	tm.Start(5 * time.Millisecond)
+	eng.Schedule(2*time.Millisecond, func() { tm.Start(10 * time.Millisecond) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (restart must cancel pending)", count)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	tm := NewTimer(eng, func() { count++ })
+	tm.Start(5 * time.Millisecond)
+	if !tm.Pending() {
+		t.Fatal("timer not pending after Start")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on armed timer")
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 0 {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	eng := NewEngine()
+	var times []time.Duration
+	tk := NewTicker(eng, 10*time.Millisecond, func() { times = append(times, eng.Now()) })
+	tk.Start()
+	eng.Schedule(35*time.Millisecond, func() { tk.Stop() })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(times) != 3 {
+		t.Fatalf("ticks = %d, want 3 (at 10,20,30ms)", len(times))
+	}
+	for i, want := range []time.Duration{10, 20, 30} {
+		if times[i] != want*time.Millisecond {
+			t.Fatalf("tick %d at %v, want %vms", i, times[i], want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(eng, time.Millisecond, func() {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDeriveRNGIndependence(t *testing.T) {
+	streams := map[uint64]bool{}
+	for i := uint64(0); i < 64; i++ {
+		r := DeriveRNG(7, i)
+		streams[r.Uint64()] = true
+	}
+	if len(streams) < 60 {
+		t.Fatalf("derived streams collide too much: %d unique of 64", len(streams))
+	}
+}
+
+func TestDeriveRNGDeterminism(t *testing.T) {
+	a, b := DeriveRNG(9, 3), DeriveRNG(9, 3)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("DeriveRNG not deterministic")
+		}
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	eng := NewEngine()
+	var at time.Duration
+	eng.ScheduleAt(50*time.Millisecond, func() { at = eng.Now() })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if at != 50*time.Millisecond {
+		t.Fatalf("fired at %v", at)
+	}
+	// Past times clamp to now.
+	eng2 := NewEngine()
+	fired := false
+	eng2.Schedule(100*time.Millisecond, func() {
+		eng2.ScheduleAt(10*time.Millisecond, func() { fired = true })
+	})
+	if err := eng2.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("past-time event never fired")
+	}
+}
+
+func TestRunAllCompletes(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		eng.Schedule(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	if err := eng.RunAll(100); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+	if eng.QueueLen() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestProcessedCounter(t *testing.T) {
+	eng := NewEngine()
+	eng.Schedule(time.Millisecond, func() {})
+	ev := eng.Schedule(2*time.Millisecond, func() {})
+	ev.Cancel()
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Processed() != 1 {
+		t.Fatalf("processed = %d, want 1 (cancelled events don't count)", eng.Processed())
+	}
+}
+
+func TestEventAccessors(t *testing.T) {
+	eng := NewEngine()
+	ev := eng.Schedule(5*time.Millisecond, func() {})
+	if ev.At() != 5*time.Millisecond {
+		t.Fatalf("At = %v", ev.At())
+	}
+	if !ev.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	var nilEv *Event
+	if nilEv.Cancel() {
+		t.Fatal("nil event cancel returned true")
+	}
+}

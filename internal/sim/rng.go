@@ -1,0 +1,24 @@
+package sim
+
+import "math/rand/v2"
+
+// NewRNG returns a deterministic random stream for the given seed.
+func NewRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, splitmix64(seed)))
+}
+
+// DeriveRNG returns an independent stream derived from a base seed and a
+// stream index (e.g. one stream per node), so per-entity randomness does not
+// depend on the order entities consume the base stream.
+func DeriveRNG(seed uint64, stream uint64) *rand.Rand {
+	s := splitmix64(seed ^ (0x9e3779b97f4a7c15 * (stream + 1)))
+	return rand.New(rand.NewPCG(s, splitmix64(s)))
+}
+
+// splitmix64 is the SplitMix64 finalizer, used to decorrelate seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

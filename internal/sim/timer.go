@@ -1,0 +1,102 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to an Engine. Unlike raw
+// Schedule calls, a Timer can be re-armed and always has at most one pending
+// firing, which is the discipline protocol state machines need.
+type Timer struct {
+	eng *Engine
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer creates a stopped timer that runs fn when it fires.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if eng == nil || fn == nil {
+		panic("sim: NewTimer requires engine and function")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Start (re)arms the timer to fire after d. Any pending firing is cancelled.
+func (t *Timer) Start(d time.Duration) {
+	t.Stop()
+	t.ev = t.eng.Schedule(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop cancels a pending firing. It reports whether a firing was pending.
+func (t *Timer) Stop() bool {
+	if t.ev == nil {
+		return false
+	}
+	ok := t.ev.Cancel()
+	t.ev = nil
+	return ok
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+
+// Ticker fires fn every period until stopped.
+type Ticker struct {
+	eng    *Engine
+	fn     func()
+	period time.Duration
+	ev     *Event
+	on     bool
+}
+
+// NewTicker creates a stopped ticker.
+func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
+	if eng == nil || fn == nil {
+		panic("sim: NewTicker requires engine and function")
+	}
+	if period <= 0 {
+		panic("sim: NewTicker requires positive period")
+	}
+	return &Ticker{eng: eng, fn: fn, period: period}
+}
+
+// Start begins ticking; the first tick fires one period from now.
+func (t *Ticker) Start() {
+	if t.on {
+		return
+	}
+	t.on = true
+	t.arm()
+}
+
+// StartWithOffset begins ticking with the first tick after offset, then
+// every period.
+func (t *Ticker) StartWithOffset(offset time.Duration) {
+	if t.on {
+		return
+	}
+	t.on = true
+	t.ev = t.eng.Schedule(offset, t.tick)
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if !t.on {
+		return
+	}
+	t.arm()
+	t.fn()
+}
+
+// Stop halts the ticker. It may be restarted with Start.
+func (t *Ticker) Stop() {
+	t.on = false
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}

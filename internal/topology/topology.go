@@ -1,0 +1,154 @@
+// Package topology generates node deployments for the paper's evaluation
+// scenarios: the 225-node Tight-grid and Sparse-linear simulation fields and
+// the 40-node indoor testbed, plus generic grids for tests and examples.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"teleadjust/internal/sim"
+)
+
+// Point is a node position in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two points.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Deployment is a set of node positions with a designated sink.
+type Deployment struct {
+	Name      string
+	Positions []Point
+	Sink      int // index into Positions
+}
+
+// Len returns the number of nodes.
+func (d *Deployment) Len() int { return len(d.Positions) }
+
+// Validate checks structural invariants.
+func (d *Deployment) Validate() error {
+	if len(d.Positions) == 0 {
+		return fmt.Errorf("topology: deployment %q has no nodes", d.Name)
+	}
+	if d.Sink < 0 || d.Sink >= len(d.Positions) {
+		return fmt.Errorf("topology: deployment %q sink index %d out of range", d.Name, d.Sink)
+	}
+	return nil
+}
+
+// Bounds returns the bounding box (minX, minY, maxX, maxY).
+func (d *Deployment) Bounds() (minX, minY, maxX, maxY float64) {
+	minX, minY = math.Inf(1), math.Inf(1)
+	maxX, maxY = math.Inf(-1), math.Inf(-1)
+	for _, p := range d.Positions {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Grid places rows×cols nodes on a jittered grid covering width×height
+// metres. Each node is placed uniformly at random within its cell when
+// jitter is true, otherwise at the cell centre. The sink is the node whose
+// cell is closest to sinkAt.
+func Grid(name string, rows, cols int, width, height float64, jitter bool, sinkAt Point, seed uint64) *Deployment {
+	if rows <= 0 || cols <= 0 {
+		panic("topology: Grid requires positive rows and cols")
+	}
+	rng := sim.NewRNG(seed)
+	cellW := width / float64(cols)
+	cellH := height / float64(rows)
+	positions := make([]Point, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(c) * cellW
+			y := float64(r) * cellH
+			if jitter {
+				x += rng.Float64() * cellW
+				y += rng.Float64() * cellH
+			} else {
+				x += cellW / 2
+				y += cellH / 2
+			}
+			positions = append(positions, Point{X: x, Y: y})
+		}
+	}
+	sink := 0
+	best := math.Inf(1)
+	for i, p := range positions {
+		if d := p.Distance(sinkAt); d < best {
+			best = d
+			sink = i
+		}
+	}
+	return &Deployment{Name: name, Positions: positions, Sink: sink}
+}
+
+// TightGrid is the paper's dense simulation field: 225 nodes randomly
+// deployed in a 200 m × 200 m square divided into 15×15 cells, sink at the
+// centre of the field.
+func TightGrid(seed uint64) *Deployment {
+	return Grid("tight-grid", 15, 15, 200, 200, true, Point{X: 100, Y: 100}, seed)
+}
+
+// SparseLinear is the paper's elongated simulation field: 225 nodes in a
+// 60 m × 600 m rectangle divided into 5×45 cells, sink at one endpoint.
+func SparseLinear(seed uint64) *Deployment {
+	// 45 columns along the 600 m axis, 5 rows across the 60 m axis.
+	return Grid("sparse-linear", 5, 45, 600, 60, true, Point{X: 0, Y: 30}, seed)
+}
+
+// IndoorTestbed is the 40-node indoor testbed: 22 nodes on a 2×11 testbed
+// board plus 18 nodes scattered around it. Geometry is scaled so that with
+// the low transmission power used in the experiments the network diameter
+// is about 6 hops. The sink is the first board node (a board corner).
+func IndoorTestbed(seed uint64) *Deployment {
+	rng := sim.NewRNG(seed)
+	positions := make([]Point, 0, 40)
+	// Board: 2 rows × 11 columns, 6 m column spacing, 4 m row spacing.
+	const (
+		colSpacing = 6.0
+		rowSpacing = 4.0
+	)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 11; c++ {
+			positions = append(positions, Point{
+				X: float64(c) * colSpacing,
+				Y: float64(r) * rowSpacing,
+			})
+		}
+	}
+	// Scattered nodes: 18 nodes around the board, each placed 3–8 m from a
+	// previously placed node so the testbed stays radio-connected at the
+	// low transmission power, while extending the hop diameter outward.
+	for i := 0; i < 18; i++ {
+		anchor := positions[rng.IntN(len(positions))]
+		r := 3 + rng.Float64()*5
+		theta := rng.Float64() * 2 * math.Pi
+		positions = append(positions, Point{
+			X: anchor.X + r*math.Cos(theta),
+			Y: anchor.Y + r*math.Sin(theta),
+		})
+	}
+	return &Deployment{Name: "indoor-testbed", Positions: positions, Sink: 0}
+}
+
+// Line places n nodes on a straight line with the given spacing; the sink
+// is node 0. Useful for unit tests with a known hop structure.
+func Line(n int, spacing float64) *Deployment {
+	if n <= 0 {
+		panic("topology: Line requires positive n")
+	}
+	positions := make([]Point, n)
+	for i := range positions {
+		positions[i] = Point{X: float64(i) * spacing}
+	}
+	return &Deployment{Name: "line", Positions: positions, Sink: 0}
+}

@@ -1,0 +1,143 @@
+package topology
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTightGridShape(t *testing.T) {
+	d := TightGrid(1)
+	if d.Len() != 225 {
+		t.Fatalf("len = %d, want 225", d.Len())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	minX, minY, maxX, maxY := d.Bounds()
+	if minX < 0 || minY < 0 || maxX > 200 || maxY > 200 {
+		t.Fatalf("bounds (%v,%v,%v,%v) outside 200x200 field", minX, minY, maxX, maxY)
+	}
+	// Sink should be near the field centre.
+	sink := d.Positions[d.Sink]
+	if sink.Distance(Point{X: 100, Y: 100}) > 20 {
+		t.Fatalf("sink at %v too far from centre", sink)
+	}
+}
+
+func TestSparseLinearShape(t *testing.T) {
+	d := SparseLinear(1)
+	if d.Len() != 225 {
+		t.Fatalf("len = %d, want 225", d.Len())
+	}
+	_, _, maxX, maxY := d.Bounds()
+	if maxX > 600 || maxY > 60 {
+		t.Fatalf("bounds exceed 600x60 field: %v %v", maxX, maxY)
+	}
+	// Sink near the left endpoint.
+	sink := d.Positions[d.Sink]
+	if sink.X > 60 {
+		t.Fatalf("sink at %v, want near x=0 endpoint", sink)
+	}
+}
+
+func TestIndoorTestbedShape(t *testing.T) {
+	d := IndoorTestbed(1)
+	if d.Len() != 40 {
+		t.Fatalf("len = %d, want 40", d.Len())
+	}
+	if d.Sink != 0 {
+		t.Fatalf("sink = %d, want 0", d.Sink)
+	}
+	// The first 22 nodes form an exact 2x11 grid.
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 11; c++ {
+			p := d.Positions[r*11+c]
+			if p.X != float64(c)*6 || p.Y != float64(r)*4 {
+				t.Fatalf("board node (%d,%d) at %v", r, c, p)
+			}
+		}
+	}
+}
+
+func TestGridDeterminism(t *testing.T) {
+	a, b := TightGrid(7), TightGrid(7)
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatal("same seed produced different deployments")
+		}
+	}
+	c := TightGrid(8)
+	same := true
+	for i := range a.Positions {
+		if a.Positions[i] != c.Positions[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical deployments")
+	}
+}
+
+func TestGridNoJitterCentres(t *testing.T) {
+	d := Grid("g", 2, 2, 10, 10, false, Point{}, 0)
+	want := []Point{{2.5, 2.5}, {7.5, 2.5}, {2.5, 7.5}, {7.5, 7.5}}
+	for i, w := range want {
+		if d.Positions[i] != w {
+			t.Fatalf("pos[%d] = %v, want %v", i, d.Positions[i], w)
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	d := Line(5, 10)
+	if d.Len() != 5 || d.Sink != 0 {
+		t.Fatalf("unexpected line deployment: %+v", d)
+	}
+	if d.Positions[4].X != 40 {
+		t.Fatalf("node 4 at %v, want x=40", d.Positions[4])
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := (&Deployment{Name: "empty"}).Validate(); err == nil {
+		t.Fatal("empty deployment validated")
+	}
+	d := &Deployment{Name: "bad-sink", Positions: []Point{{}}, Sink: 3}
+	if err := d.Validate(); err == nil {
+		t.Fatal("out-of-range sink validated")
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by float64) bool {
+		// Constrain to physically plausible coordinates; quick generates
+		// values near ±MaxFloat64 whose distances overflow to +Inf.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		a := Point{clamp(ax), clamp(ay)}
+		b := Point{clamp(bx), clamp(by)}
+		return math.Abs(a.Distance(b)-b.Distance(a)) < 1e-9
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Fatal(err)
+	}
+	identity := func(x, y float64) bool {
+		p := Point{x, y}
+		return p.Distance(p) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridJitterStaysInCell(t *testing.T) {
+	d := Grid("g", 4, 4, 40, 40, true, Point{}, 3)
+	for i, p := range d.Positions {
+		r, c := i/4, i%4
+		if p.X < float64(c)*10 || p.X > float64(c+1)*10 ||
+			p.Y < float64(r)*10 || p.Y > float64(r+1)*10 {
+			t.Fatalf("node %d at %v escaped its cell (%d,%d)", i, p, r, c)
+		}
+	}
+}

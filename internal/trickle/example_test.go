@@ -1,0 +1,33 @@
+package trickle_test
+
+import (
+	"fmt"
+	"time"
+
+	"teleadjust/internal/sim"
+	"teleadjust/internal/trickle"
+)
+
+// Example shows the Trickle discipline driving a beacon: exponential
+// silence while the network is consistent, an immediate restart on an
+// inconsistency.
+func Example() {
+	eng := sim.NewEngine()
+	cfg := trickle.Config{IMin: 100 * time.Millisecond, IMax: 800 * time.Millisecond}
+	beacons := 0
+	tr := trickle.New(eng, cfg, sim.NewRNG(1), func() { beacons++ })
+	tr.Start()
+
+	_ = eng.Run(5 * time.Second)
+	quiet := beacons
+	fmt.Printf("interval grew to %v\n", tr.Interval())
+
+	// An inconsistency (a routing change, an outdated neighbor) resets
+	// the interval to IMin, producing a prompt beacon.
+	tr.Reset()
+	_ = eng.Run(eng.Now() + 200*time.Millisecond)
+	fmt.Printf("beaconed again after reset: %v\n", beacons > quiet)
+	// Output:
+	// interval grew to 800ms
+	// beaconed again after reset: true
+}
