@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check test race fuzz bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Brief fuzz pass over each wire-codec target (the committed corpus under
+# internal/core/testdata/fuzz always runs as part of plain `go test`).
+FUZZTIME ?= 5s
+fuzz:
+	@for t in FuzzDecodeCode FuzzUnmarshalExt FuzzUnmarshalControl \
+		FuzzUnmarshalFeedback FuzzUnmarshalCodeReport FuzzUnmarshalE2EAck \
+		FuzzControlEncode FuzzExtEncode; do \
+		$(GO) test ./internal/core/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+check: build vet fmt-check test

@@ -24,12 +24,20 @@ package teleadjust
 // records a full-length pass.
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"teleadjust/internal/core"
+	"teleadjust/internal/ctp"
+	"teleadjust/internal/drip"
 	"teleadjust/internal/experiment"
+	"teleadjust/internal/mac"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/rpl"
+	"teleadjust/internal/topology"
 )
 
 // benchCodingTight runs (and caches) the Tight-grid coding study.
@@ -304,6 +312,67 @@ func BenchmarkExtensionScopedDissemination(b *testing.B) {
 		b.ReportMetric(100*res.Coverage.Mean(), "%coverage")
 		b.ReportMetric(res.TxPerMember, "tx/member-scoped")
 		b.ReportMetric(res.UnicastTxPerMember, "tx/member-unicast")
+	}
+}
+
+// benchLineScenario is a small 8-node line used by the replication
+// benchmark: big enough to exercise multi-hop control, small enough that
+// eight replications fit in a benchmark iteration.
+func benchLineScenario(seed uint64) experiment.Scenario {
+	params := radio.DefaultParams()
+	params.ShadowSigmaDB = 0
+	s := experiment.Scenario{
+		Name:  "bench-line",
+		Dep:   topology.Line(8, 7),
+		Radio: params,
+		Mac:   mac.DefaultConfig(),
+		Ctp:   ctp.DefaultConfig(),
+		Tele:  core.DefaultConfig(),
+		Drip:  drip.DefaultConfig(),
+		Rpl:   rpl.DefaultConfig(),
+		Seed:  seed,
+	}
+	s.Tele.AllocDelay = 2 * 512 * time.Millisecond
+	s.TuneControlTimeouts(15 * time.Second)
+	return s
+}
+
+// BenchmarkReplicationSpeedup measures the wall-clock gain of the
+// parallel replication runner: 8 independent replications of a small
+// control study on one worker versus the full GOMAXPROCS pool. The merged
+// reports must be byte-identical — the speedup is only valid if the
+// parallel path changes nothing but wall-clock time.
+func BenchmarkReplicationSpeedup(b *testing.B) {
+	opts := experiment.DefaultControlOpts()
+	opts.Warmup = 2 * time.Minute
+	opts.Packets = 5
+	opts.Interval = 16 * time.Second
+	seeds := experiment.DeriveSeeds(1, 8)
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := experiment.Replicator{Workers: 1}.ControlStudy(
+			benchLineScenario, experiment.ProtoTele, opts, seeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialDur := time.Since(t0)
+
+		t1 := time.Now()
+		par, err := experiment.Replicator{}.ControlStudy(
+			benchLineScenario, experiment.ProtoTele, opts, seeds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parDur := time.Since(t1)
+
+		var sb, pb bytes.Buffer
+		experiment.WriteControlReport(&sb, serial)
+		experiment.WriteControlReport(&pb, par)
+		if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+			b.Fatal("parallel replication diverged from serial")
+		}
+		b.ReportMetric(float64(serialDur)/float64(parDur), "x-speedup")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
 	}
 }
 

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"teleadjust/internal/core"
@@ -36,21 +38,25 @@ func main() {
 }
 
 type settings struct {
-	exp    string
-	quick  bool
-	seeds  int
-	seed   uint64
-	packet int
-	csvDir string
+	exp      string
+	quick    bool
+	seeds    int
+	seed     uint64
+	packet   int
+	parallel int
+	reps     int
+	csvDir   string
 }
 
 func run() error {
 	var s settings
-	flag.StringVar(&s.exp, "exp", "all", "experiment: fig6, table2, compare26, compare19, ablation, scope, all")
+	flag.StringVar(&s.exp, "exp", "all", "experiment: fig6, table2, compare26, compare19, ablation, scope, replication, all")
 	flag.BoolVar(&s.quick, "quick", false, "reduced durations and seed counts")
 	flag.IntVar(&s.seeds, "seeds", 3, "seeds per protocol for comparison studies")
 	flag.Uint64Var(&s.seed, "seed", 1, "base seed")
 	flag.IntVar(&s.packet, "packets", 40, "control packets per run")
+	flag.IntVar(&s.parallel, "parallel", 0, "replication workers for multi-seed studies (0 = GOMAXPROCS, 1 = serial)")
+	flag.IntVar(&s.reps, "reps", 8, "replications for the replication speedup experiment")
 	flag.StringVar(&s.csvDir, "csv", "", "also write plot-ready CSV files into this directory")
 	flag.Parse()
 	if s.csvDir != "" {
@@ -64,12 +70,13 @@ func run() error {
 		s.packet = 15
 	}
 	steps := map[string]func(settings) error{
-		"fig6":      runFig6,
-		"table2":    runTable2,
-		"compare26": func(st settings) error { return runComparison(st, false) },
-		"compare19": func(st settings) error { return runComparison(st, true) },
-		"ablation":  runAblation,
-		"scope":     runScope,
+		"fig6":        runFig6,
+		"table2":      runTable2,
+		"compare26":   func(st settings) error { return runComparison(st, false) },
+		"compare19":   func(st settings) error { return runComparison(st, true) },
+		"ablation":    runAblation,
+		"scope":       runScope,
+		"replication": runReplication,
 	}
 	order := []string{"fig6", "table2", "compare26", "compare19", "ablation", "scope"}
 	if s.exp != "all" {
@@ -176,6 +183,7 @@ func runComparison(s settings, wifi bool) error {
 		scn.TuneControlTimeouts(18 * time.Second)
 		return scn
 	}
+	rep := experiment.Replicator{Workers: s.parallel}
 	var results []*experiment.ControlResult
 	for _, proto := range []experiment.Proto{
 		experiment.ProtoTele,
@@ -183,7 +191,7 @@ func runComparison(s settings, wifi bool) error {
 		experiment.ProtoDrip,
 		experiment.ProtoRPL,
 	} {
-		res, err := experiment.RunControlStudySeeds(build, proto, opts, seeds)
+		res, err := rep.ControlStudy(build, proto, opts, seeds)
 		if err != nil {
 			return err
 		}
@@ -277,5 +285,59 @@ func runScope(s settings) error {
 		res.Operations, res.Members, res.Acked, 100*res.Coverage.Mean())
 	fmt.Printf("scoped flood:     %.2f tx per addressed member\n", res.TxPerMember)
 	fmt.Printf("per-member unicast: %.2f tx per addressed member\n", res.UnicastTxPerMember)
+	return nil
+}
+
+// runReplication measures the wall-clock speedup of the parallel
+// replication runner: the same -reps-seed control study once on one
+// worker and once on the full pool, verifying the merged reports match.
+func runReplication(s settings) error {
+	opts := experiment.DefaultControlOpts()
+	opts.Warmup = 4 * time.Minute
+	opts.Packets = s.packet
+	opts.Interval = 15 * time.Second
+	if s.quick {
+		opts.Packets = 10
+	}
+	seeds := experiment.DeriveSeeds(s.seed, s.reps)
+	build := func(seed uint64) experiment.Scenario {
+		scn := experiment.Indoor(seed, false)
+		scn.TuneControlTimeouts(12 * time.Second)
+		return scn
+	}
+	workers := s.parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("--- Replication runner: %d replications, 1 vs %d workers ---\n", s.reps, workers)
+
+	t0 := time.Now()
+	serial, err := experiment.Replicator{Workers: 1}.ControlStudy(build, experiment.ProtoTele, opts, seeds)
+	if err != nil {
+		return err
+	}
+	serialDur := time.Since(t0)
+
+	t1 := time.Now()
+	par, err := experiment.Replicator{Workers: workers}.ControlStudy(build, experiment.ProtoTele, opts, seeds)
+	if err != nil {
+		return err
+	}
+	parDur := time.Since(t1)
+
+	var sb, pb strings.Builder
+	experiment.WriteControlReport(&sb, serial)
+	experiment.WriteControlReport(&pb, par)
+	match := "byte-identical"
+	if sb.String() != pb.String() {
+		match = "MISMATCH (determinism bug)"
+	}
+	experiment.WriteControlReport(os.Stdout, par)
+	fmt.Printf("serial:   %v\nparallel: %v (%d workers)\nspeedup:  %.2fx — merged reports %s\n",
+		serialDur.Round(time.Millisecond), parDur.Round(time.Millisecond), workers,
+		float64(serialDur)/float64(parDur), match)
+	if match != "byte-identical" {
+		return fmt.Errorf("parallel replication diverged from serial")
+	}
 	return nil
 }

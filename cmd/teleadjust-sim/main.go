@@ -1,12 +1,15 @@
 // Command teleadjust-sim runs a single TeleAdjusting simulation scenario
 // and prints its metrics: either a coding study (path-code length,
 // convergence, reverse hops) or a control study (PDR, latency, duty cycle,
-// transmission counts) for one protocol.
+// transmission counts) for one protocol. With -reps > 1 the study is
+// replicated over consecutive seeds and the replications run concurrently
+// on -parallel workers; the merged result is identical to a serial run.
 //
 // Examples:
 //
 //	teleadjust-sim -scenario indoor -study control -proto tele -packets 40
 //	teleadjust-sim -scenario tight -study coding -dur 8m
+//	teleadjust-sim -scenario indoor -study control -proto rpl -reps 4 -parallel 4
 package main
 
 import (
@@ -30,17 +33,27 @@ func run() error {
 	var (
 		scenario = flag.String("scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi")
 		study    = flag.String("study", "control", "study: coding, control, scope")
-		proto    = flag.String("proto", "tele", "protocol: tele, retele, strict, drip, rpl")
+		proto    = flag.String("proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
 		dur      = flag.Duration("dur", 8*time.Minute, "coding study duration")
 		warmup   = flag.Duration("warmup", 4*time.Minute, "control study warmup")
 		packets  = flag.Int("packets", 40, "control packets to send")
 		interval = flag.Duration("interval", 15*time.Second, "inter-packet interval")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		reps     = flag.Int("reps", 1, "independent replications over consecutive seeds")
+		parallel = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
 		trace    = flag.Int("trace", 0, "dump the last N medium events (tx/rx) after the run")
 		svgPath  = flag.String("svg", "", "write the converged topology/tree/codes as SVG to this file")
 	)
 	flag.Parse()
 
+	if *reps < 1 {
+		return fmt.Errorf("-reps must be >= 1")
+	}
+	if *reps > 1 && (*trace > 0 || *svgPath != "") {
+		// The trace ring and SVG hooks instrument one network instance;
+		// with concurrent replications there is no single network to tap.
+		return fmt.Errorf("-trace and -svg require -reps 1")
+	}
 	scn, err := pickScenario(*scenario, *seed)
 	if err != nil {
 		return err
@@ -85,13 +98,32 @@ func run() error {
 			fmt.Printf("topology SVG written to %s\n", *svgPath)
 		}()
 	}
+
+	seeds := make([]uint64, *reps)
+	for i := range seeds {
+		seeds[i] = *seed + uint64(i)
+	}
+	build := func(s uint64) experiment.Scenario {
+		b, _ := pickScenario(*scenario, s)
+		return b
+	}
+	rep := experiment.Replicator{Workers: *parallel}
+
 	switch *study {
 	case "coding":
-		res, err := experiment.RunCodingStudy(scn, *dur)
+		if *reps == 1 {
+			res, err := experiment.RunCodingStudy(scn, *dur)
+			if err != nil {
+				return err
+			}
+			experiment.WriteCodingReport(os.Stdout, res)
+			return nil
+		}
+		res, err := rep.CodingStudy(build, *dur, seeds)
 		if err != nil {
 			return err
 		}
-		printCoding(res)
+		experiment.WriteCodingReport(os.Stdout, res)
 	case "control":
 		p, err := pickProto(*proto)
 		if err != nil {
@@ -101,12 +133,23 @@ func run() error {
 		opts.Warmup = *warmup
 		opts.Packets = *packets
 		opts.Interval = *interval
-		res, err := experiment.RunControlStudy(scn, p, opts)
+		if *reps == 1 {
+			res, err := experiment.RunControlStudy(scn, p, opts)
+			if err != nil {
+				return err
+			}
+			experiment.WriteControlReport(os.Stdout, res)
+			return nil
+		}
+		res, err := rep.ControlStudy(build, p, opts, seeds)
 		if err != nil {
 			return err
 		}
-		printControl(res)
+		experiment.WriteControlReport(os.Stdout, res)
 	case "scope":
+		if *reps > 1 {
+			return fmt.Errorf("the scope study does not support -reps")
+		}
 		opts := experiment.DefaultScopeOpts()
 		opts.Warmup = *warmup
 		res, err := experiment.RunScopeStudy(scn, opts)
@@ -142,18 +185,12 @@ func pickProto(name string) (experiment.Proto, error) {
 		return experiment.ProtoReTele, nil
 	case "strict":
 		return experiment.ProtoTeleStrict, nil
+	case "teleadjust":
+		return experiment.ProtoTeleAdjust, nil
 	case "drip":
 		return experiment.ProtoDrip, nil
 	case "rpl":
 		return experiment.ProtoRPL, nil
 	}
-	return 0, fmt.Errorf("unknown protocol %q", name)
-}
-
-func printCoding(res *experiment.CodingResult) {
-	experiment.WriteCodingReport(os.Stdout, res)
-}
-
-func printControl(res *experiment.ControlResult) {
-	experiment.WriteControlReport(os.Stdout, res)
+	return experiment.ProtoNone, fmt.Errorf("unknown protocol %q", name)
 }

@@ -61,7 +61,7 @@ func run() error {
 // the sink child with the largest subtree in the controller's registry and
 // address its code prefix.
 func viaScope() (tx uint64, acked, members int, err error) {
-	net, err := buildNet(true, false)
+	net, err := buildNet(experiment.ProtoTeleAdjust)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -90,7 +90,7 @@ func viaScope() (tx uint64, acked, members int, err error) {
 	if best.n == 0 {
 		return 0, 0, 0, fmt.Errorf("no subtree found in registry")
 	}
-	before := teleSends(net)
+	before := ctrlSends(net)
 	var res core.ScopeResult
 	done := false
 	if _, err := net.SinkTele().SendScopeControl(best.scope, "cfg-v2", func(r core.ScopeResult) {
@@ -105,10 +105,10 @@ func viaScope() (tx uint64, acked, members int, err error) {
 	if !done {
 		return 0, 0, 0, fmt.Errorf("scoped operation never resolved")
 	}
-	return teleSends(net) - before, len(res.Acked), res.Expected, nil
+	return ctrlSends(net) - before, len(res.Acked), res.Expected, nil
 }
 
-func buildNet(withTele, withDrip bool) (*experiment.Net, error) {
+func buildNet(p experiment.Proto) (*experiment.Net, error) {
 	params := radio.DefaultParams()
 	params.ShadowSigmaDB = 1.0
 	cfg := experiment.Config{
@@ -119,8 +119,7 @@ func buildNet(withTele, withDrip bool) (*experiment.Net, error) {
 		Tele:     core.DefaultConfig(),
 		Drip:     drip.DefaultConfig(),
 		Rpl:      rpl.DefaultConfig(),
-		WithTele: withTele,
-		WithDrip: withDrip,
+		Protocol: p,
 		Seed:     3,
 	}
 	net, err := experiment.Build(cfg)
@@ -133,16 +132,16 @@ func buildNet(withTele, withDrip bool) (*experiment.Net, error) {
 
 // viaTele sends one targeted control packet per group member.
 func viaTele() (tx uint64, delivered int, err error) {
-	net, err := buildNet(true, false)
+	net, err := buildNet(experiment.ProtoTeleAdjust)
 	if err != nil {
 		return 0, 0, err
 	}
 	got := map[radio.NodeID]bool{}
 	for _, id := range group {
 		id := id
-		net.Teles[id].SetDeliveredFn(func(op uint32, hops uint8) { got[id] = true })
+		net.Tele(id).SetDeliveredFn(func(op uint32, hops uint8) { got[id] = true })
 	}
-	before := teleSends(net)
+	before := ctrlSends(net)
 	for _, id := range group {
 		if _, err := net.SinkTele().SendControl(id, "cfg-v2", nil); err != nil {
 			return 0, 0, fmt.Errorf("control to %d: %w", id, err)
@@ -154,15 +153,16 @@ func viaTele() (tx uint64, delivered int, err error) {
 	if err := net.Run(30 * time.Second); err != nil {
 		return 0, 0, err
 	}
-	return teleSends(net) - before, len(got), nil
+	return ctrlSends(net) - before, len(got), nil
 }
 
-func teleSends(net *experiment.Net) uint64 {
+// ctrlSends sums the network's control-plane transmissions through the
+// uniform ControlProtocol interface — the same sum for any protocol.
+func ctrlSends(net *experiment.Net) uint64 {
 	var sum uint64
-	for _, te := range net.Teles {
-		if te != nil {
-			s := te.Stats()
-			sum += s.ControlSends + s.FeedbackSends
+	for i := 0; i < net.Dep.Len(); i++ {
+		if c := net.Ctrl(radio.NodeID(i)); c != nil {
+			sum += c.ControlTx()
 		}
 	}
 	return sum
@@ -171,16 +171,16 @@ func teleSends(net *experiment.Net) uint64 {
 // viaDrip floods one group-addressed command per member (the unstructured
 // baseline has no targeted mode: every update visits every node).
 func viaDrip() (tx uint64, delivered int, err error) {
-	net, err := buildNet(false, true)
+	net, err := buildNet(experiment.ProtoDrip)
 	if err != nil {
 		return 0, 0, err
 	}
 	got := map[radio.NodeID]bool{}
 	for _, id := range group {
 		id := id
-		net.Drips[id].SetDeliveredFn(func(uid uint32) { got[id] = true })
+		net.Drip(id).SetDeliveredFn(func(uid uint32, hops uint8) { got[id] = true })
 	}
-	before := dripSends(net)
+	before := ctrlSends(net)
 	for _, id := range group {
 		if _, err := net.SinkDrip().SendControl(id, "cfg-v2", nil); err != nil {
 			return 0, 0, fmt.Errorf("drip control to %d: %w", id, err)
@@ -195,15 +195,5 @@ func viaDrip() (tx uint64, delivered int, err error) {
 	if err := net.Run(30 * time.Second); err != nil {
 		return 0, 0, err
 	}
-	return dripSends(net) - before, len(got), nil
-}
-
-func dripSends(net *experiment.Net) uint64 {
-	var sum uint64
-	for _, d := range net.Drips {
-		if d != nil {
-			sum += d.Stats().Sends
-		}
-	}
-	return sum
+	return ctrlSends(net) - before, len(got), nil
 }

@@ -53,7 +53,7 @@ func run() error {
 		Tele:     core.DefaultConfig(),
 		Drip:     drip.DefaultConfig(),
 		Rpl:      rpl.DefaultConfig(),
-		WithTele: true,
+		Protocol: experiment.ProtoTeleAdjust,
 		Seed:     7,
 	}
 	net, err := experiment.Build(cfg)
@@ -72,14 +72,15 @@ func run() error {
 
 	// Each node samples every 45 s and reports over the collection tree.
 	rng := sim.NewRNG(99)
-	for i := range net.Ctps {
+	for i := range net.Stacks {
 		if radio.NodeID(i) == net.Sink {
 			continue
 		}
 		i := i
+		c := net.Stacks[i].Ctp
 		tick := sim.NewTicker(net.Eng, 45*time.Second, func() {
 			temp := (18 + 4*rng.Float64()) * gains[i]
-			_ = net.Ctps[i].SendToSink(&reading{TempC: temp, Gain: gains[i]})
+			_ = c.SendToSink(&reading{TempC: temp, Gain: gains[i]})
 		})
 		tick.StartWithOffset(time.Duration(rng.Int64N(int64(45 * time.Second))))
 	}
@@ -117,7 +118,7 @@ func run() error {
 	// The fix must be applied at the node when the control packet lands.
 	applied := false
 	target := flagged.node
-	net.Teles[target].SetDeliveredFn(func(op uint32, hops uint8) {
+	net.Tele(target).SetDeliveredFn(func(op uint32, hops uint8) {
 		// In a real deployment the App payload carries the parameters;
 		// the simulation applies them to the node's state here.
 		gains[target] = 1.0

@@ -38,7 +38,7 @@ func run() error {
 		Tele:     core.DefaultConfig(),
 		Drip:     drip.DefaultConfig(),
 		Rpl:      rpl.DefaultConfig(),
-		WithTele: true,
+		Protocol: experiment.ProtoTeleAdjust,
 		Seed:     42,
 	}
 	net, err := experiment.Build(cfg)
@@ -57,7 +57,7 @@ func run() error {
 	// Print the address book the coding scheme produced.
 	fmt.Println("node  hops  path code")
 	for i := 0; i < net.Dep.Len(); i++ {
-		code, ok := net.Teles[i].Code()
+		code, ok := net.Tele(radio.NodeID(i)).Code()
 		mark := code.String()
 		if !ok {
 			mark = "(none)"
@@ -71,7 +71,7 @@ func run() error {
 	const target radio.NodeID = 9
 	fmt.Printf("\nsending control packet to node %d...\n", target)
 	done := false
-	net.Teles[target].SetDeliveredFn(func(op uint32, hops uint8) {
+	net.Tele(target).SetDeliveredFn(func(op uint32, hops uint8) {
 		fmt.Printf("node %d received the command after %d transmissions at t=%v\n",
 			target, hops, net.Eng.Now())
 	})

@@ -39,7 +39,7 @@ func TestFig8ATHXBoundedByPath(t *testing.T) {
 	for i := 1; i < 5; i++ {
 		var gotHops uint8
 		idx := i
-		net.Teles[idx].SetDeliveredFn(func(op uint32, hops uint8) { gotHops = hops })
+		net.Tele(radio.NodeID(idx)).SetDeliveredFn(func(op uint32, hops uint8) { gotHops = hops })
 		if _, err := net.SinkTele().SendControl(radio.NodeID(idx), "x", nil); err != nil {
 			t.Fatal(err)
 		}
@@ -65,13 +65,13 @@ func TestBacktrackRecoversViaSibling(t *testing.T) {
 		t.Skip("controller never learned node 7's code")
 	}
 	// Kill node 7's tree parent (one of 5/6); the other chain survives.
-	parent := net.Ctps[dst].Parent()
+	parent := net.Stacks[dst].Ctp.Parent()
 	if parent == 0 || int(parent) >= net.Dep.Len() {
 		t.Skipf("unexpected parent %d", parent)
 	}
 	net.KillNode(parent)
 	delivered := false
-	net.Teles[dst].SetDeliveredFn(func(op uint32, hops uint8) { delivered = true })
+	net.Tele(radio.NodeID(dst)).SetDeliveredFn(func(op uint32, hops uint8) { delivered = true })
 	var res core.Result
 	got := false
 	if _, err := net.SinkTele().SendControl(dst, "x", func(r core.Result) { res = r; got = true }); err != nil {
@@ -98,13 +98,13 @@ func TestOpportunisticBeatsStrictUnderFailure(t *testing.T) {
 		if !net.SinkTele().KnowsCode(dst) {
 			t.Skip("controller never learned node 7's code")
 		}
-		parent := net.Ctps[dst].Parent()
+		parent := net.Stacks[dst].Ctp.Parent()
 		if parent == 0 {
 			t.Skip("node 7 parented directly to the sink")
 		}
 		net.KillNode(parent)
 		delivered := false
-		net.Teles[dst].SetDeliveredFn(func(op uint32, hops uint8) { delivered = true })
+		net.Tele(radio.NodeID(dst)).SetDeliveredFn(func(op uint32, hops uint8) { delivered = true })
 		if _, err := net.SinkTele().SendControl(dst, "x", nil); err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +135,8 @@ func TestDuplicateDeliveriesBounded(t *testing.T) {
 		run(t, net, 15*time.Second)
 	}
 	var deliv, dup uint64
-	for _, te := range net.Teles {
+	for _, st := range net.Stacks {
+		te := st.Ctrl.(*core.Engine)
 		s := te.Stats()
 		deliv += s.ControlDeliv
 		dup += s.ControlDupDeliv

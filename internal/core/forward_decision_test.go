@@ -18,7 +18,7 @@ func convergedLine(t *testing.T, n int, seed uint64, mutate func(*experiment.Con
 	net := buildTele(t, topology.Line(n, 7), seed, mutate)
 	run(t, net, 3*time.Minute)
 	for i := 1; i < n; i++ {
-		if _, ok := net.Teles[i].Code(); !ok {
+		if _, ok := net.Tele(radio.NodeID(i)).Code(); !ok {
 			t.Fatalf("node %d has no code; cannot test forwarding decisions", i)
 		}
 	}
@@ -27,7 +27,7 @@ func convergedLine(t *testing.T, n int, seed uint64, mutate func(*experiment.Con
 
 // controlFor crafts the anycast control frame a transmitter would stream.
 func controlFor(net *experiment.Net, src, dst, expected radio.NodeID, expectedLen int) *radio.Frame {
-	code, _ := net.Teles[dst].Code()
+	code, _ := net.Tele(radio.NodeID(dst)).Code()
 	return &radio.Frame{
 		Kind: radio.FrameData,
 		Src:  src,
@@ -50,10 +50,10 @@ func controlFor(net *experiment.Net, src, dst, expected radio.NodeID, expectedLe
 // expected relay accepts even without code progress.
 func TestRelayConditionExpected(t *testing.T) {
 	net := convergedLine(t, 5, 31, nil)
-	c1, _ := net.Teles[1].Code()
+	c1, _ := net.Tele(radio.NodeID(1)).Code()
 	// Sink streams toward node 4, expecting node 1.
 	f := controlFor(net, 0, 4, 1, c1.Len())
-	got := net.Teles[1].Classify(f)
+	got := net.Tele(radio.NodeID(1)).Classify(f)
 	if got.Decision != mac.AckAndDeliver {
 		t.Fatalf("expected relay did not accept: %+v", got)
 	}
@@ -64,20 +64,20 @@ func TestRelayConditionExpected(t *testing.T) {
 // (smaller) ack priority the more progress it offers.
 func TestRelayConditionCloser(t *testing.T) {
 	net := convergedLine(t, 5, 32, nil)
-	c1, _ := net.Teles[1].Code()
+	c1, _ := net.Tele(radio.NodeID(1)).Code()
 	f := controlFor(net, 0, 4, 1, c1.Len())
 	// Node 2 is on the encoded path (its code extends node 1's): it may
 	// take the packet over the expected relay 1.
-	got2 := net.Teles[2].Classify(f)
+	got2 := net.Tele(radio.NodeID(2)).Classify(f)
 	if got2.Decision != mac.AckAndDeliver {
 		t.Fatalf("closer on-path node did not accept: %+v", got2)
 	}
-	got1 := net.Teles[1].Classify(f)
+	got1 := net.Tele(radio.NodeID(1)).Classify(f)
 	if got2.Prio >= got1.Prio {
 		t.Fatalf("closer node must ack earlier: node2 prio %d, node1 prio %d", got2.Prio, got1.Prio)
 	}
 	// Node 3 offers even more progress: earlier or equal slot vs node 2.
-	got3 := net.Teles[3].Classify(f)
+	got3 := net.Tele(radio.NodeID(3)).Classify(f)
 	if got3.Decision != mac.AckAndDeliver || got3.Prio > got2.Prio {
 		t.Fatalf("more progress must not ack later: node3 %+v vs node2 %+v", got3, got2)
 	}
@@ -88,7 +88,7 @@ func TestRelayConditionCloser(t *testing.T) {
 func TestDestinationAlwaysAccepts(t *testing.T) {
 	net := convergedLine(t, 5, 33, nil)
 	f := controlFor(net, 3, 4, 4, 0)
-	got := net.Teles[4].Classify(f)
+	got := net.Tele(radio.NodeID(4)).Classify(f)
 	if got.Decision != mac.AckAndDeliver || got.Prio != 0 {
 		t.Fatalf("destination classification = %+v, want accept at prio 0", got)
 	}
@@ -112,14 +112,14 @@ func TestOffPathIgnores(t *testing.T) {
 	}
 	net := buildTele(t, dep, 34, nil)
 	run(t, net, 3*time.Minute)
-	if _, ok := net.Teles[3].Code(); !ok {
+	if _, ok := net.Tele(radio.NodeID(3)).Code(); !ok {
 		t.Skip("codes did not converge on the Y topology")
 	}
-	c2, _ := net.Teles[2].Code()
+	c2, _ := net.Tele(radio.NodeID(2)).Code()
 	f := controlFor(net, 2, 3, 3, c2.Len())
 	// Node 5 on the other branch: no prefix match, no qualifying
 	// neighbor.
-	got := net.Teles[5].Classify(f)
+	got := net.Tele(radio.NodeID(5)).Classify(f)
 	if got.Decision != mac.Ignore {
 		t.Fatalf("off-path node accepted: %+v", got)
 	}
@@ -142,22 +142,22 @@ func TestNeighborCondition(t *testing.T) {
 	}
 	net := buildTele(t, dep, 35, nil)
 	run(t, net, 3*time.Minute)
-	code2, ok := net.Teles[2].Code()
+	code2, ok := net.Tele(radio.NodeID(2)).Code()
 	if !ok {
 		t.Skip("codes did not converge")
 	}
-	if net.Ctps[2].Parent() == 3 {
+	if net.Stacks[2].Ctp.Parent() == 3 {
 		t.Skip("node 3 became node 2's parent; scenario needs it off-path")
 	}
 	// Sink streams toward 2 expecting 1 (code length of 1).
-	code1, _ := net.Teles[1].Code()
+	code1, _ := net.Tele(radio.NodeID(1)).Code()
 	f := controlFor(net, 0, 2, 1, code1.Len())
-	got := net.Teles[3].Classify(f)
+	got := net.Tele(radio.NodeID(3)).Classify(f)
 	if got.Decision != mac.AckAndDeliver {
 		t.Fatalf("side node with qualifying neighbor did not accept: %+v (knows dest code %v)", got, code2)
 	}
 	// Its priority must be later than an equally-advanced direct match.
-	direct := net.Teles[2].Classify(f) // destination: prio 0
+	direct := net.Tele(radio.NodeID(2)).Classify(f) // destination: prio 0
 	if got.Prio <= direct.Prio {
 		t.Fatalf("neighbor-based acceptance must not outrank the destination: %+v vs %+v", got, direct)
 	}
@@ -169,16 +169,16 @@ func TestStrictModeOnlyExpectedAccepts(t *testing.T) {
 	net := convergedLine(t, 5, 36, func(cfg *experiment.Config) {
 		cfg.Tele.Opportunistic = false
 	})
-	c1, _ := net.Teles[1].Code()
+	c1, _ := net.Tele(radio.NodeID(1)).Code()
 	f := controlFor(net, 0, 4, 1, c1.Len())
-	if got := net.Teles[2].Classify(f); got.Decision != mac.Ignore {
+	if got := net.Tele(radio.NodeID(2)).Classify(f); got.Decision != mac.Ignore {
 		t.Fatalf("strict mode: non-expected on-path node accepted: %+v", got)
 	}
-	if got := net.Teles[1].Classify(f); got.Decision != mac.AckAndDeliver || got.Prio != 0 {
+	if got := net.Tele(radio.NodeID(1)).Classify(f); got.Decision != mac.AckAndDeliver || got.Prio != 0 {
 		t.Fatalf("strict mode: expected relay classification = %+v", got)
 	}
 	// The destination still accepts.
-	if got := net.Teles[4].Classify(f); got.Decision != mac.AckAndDeliver {
+	if got := net.Tele(radio.NodeID(4)).Classify(f); got.Decision != mac.AckAndDeliver {
 		t.Fatalf("strict mode: destination ignored: %+v", got)
 	}
 }

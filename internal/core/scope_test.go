@@ -16,7 +16,7 @@ func TestScopeOneToAll(t *testing.T) {
 	delivered := map[radio.NodeID]bool{}
 	for i := 1; i < 5; i++ {
 		id := radio.NodeID(i)
-		net.Teles[i].SetDeliveredFn(func(op uint32, hops uint8) { delivered[id] = true })
+		net.Tele(radio.NodeID(i)).SetDeliveredFn(func(op uint32, hops uint8) { delivered[id] = true })
 	}
 	var res core.ScopeResult
 	got := false
@@ -58,20 +58,20 @@ func TestScopeSubtreeOnly(t *testing.T) {
 	}
 	net := buildTele(t, dep, 52, nil)
 	run(t, net, 3*time.Minute)
-	code1, ok := net.Teles[1].Code()
+	code1, ok := net.Tele(radio.NodeID(1)).Code()
 	if !ok {
 		t.Skip("codes did not converge")
 	}
 	// Scope = node 1's code. Expected members: node 1 and any node whose
 	// code extends it (node 2 if parented under 1).
 	want := map[radio.NodeID]bool{1: true}
-	if c2, ok := net.Teles[2].Code(); ok && code1.IsPrefixOf(c2) {
+	if c2, ok := net.Tele(radio.NodeID(2)).Code(); ok && code1.IsPrefixOf(c2) {
 		want[2] = true
 	}
 	delivered := map[radio.NodeID]bool{}
 	for i := 1; i < 5; i++ {
 		id := radio.NodeID(i)
-		net.Teles[i].SetDeliveredFn(func(op uint32, hops uint8) { delivered[id] = true })
+		net.Tele(radio.NodeID(i)).SetDeliveredFn(func(op uint32, hops uint8) { delivered[id] = true })
 	}
 	var res core.ScopeResult
 	if _, err := net.SinkTele().SendScopeControl(code1, "branch-A", func(r core.ScopeResult) {
@@ -98,7 +98,7 @@ func TestScopeSubtreeOnly(t *testing.T) {
 // TestScopeFromNonSink is rejected.
 func TestScopeFromNonSink(t *testing.T) {
 	net := buildTele(t, topology.Line(3, 7), 53, nil)
-	if _, err := net.Teles[1].SendScopeControl(core.EmptyCode, "x", nil); err == nil {
+	if _, err := net.Tele(radio.NodeID(1)).SendScopeControl(core.EmptyCode, "x", nil); err == nil {
 		t.Fatal("non-sink scoped control accepted")
 	}
 }
@@ -108,7 +108,7 @@ func TestScopeFromNonSink(t *testing.T) {
 func TestScopeDedup(t *testing.T) {
 	net := convergedLine(t, 4, 54, nil)
 	count := 0
-	net.Teles[2].SetDeliveredFn(func(op uint32, hops uint8) { count++ })
+	net.Tele(radio.NodeID(2)).SetDeliveredFn(func(op uint32, hops uint8) { count++ })
 	if _, err := net.SinkTele().SendScopeControl(core.EmptyCode, "x", nil); err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"teleadjust/internal/ctp"
 	"teleadjust/internal/mac"
 	"teleadjust/internal/node"
+	"teleadjust/internal/protocol"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/sim"
 )
@@ -85,10 +86,7 @@ type Stats struct {
 
 // ATHXSample is one Fig-8 scatter point: a control packet received at this
 // node after travelling Hops link transmissions.
-type ATHXSample struct {
-	Hops uint8
-	At   time.Duration
-}
+type ATHXSample = protocol.ATHXSample
 
 type neighborCode struct {
 	code      PathCode
@@ -210,16 +208,13 @@ type pendingControl struct {
 }
 
 // Result reports the outcome of a control operation at the sink.
-type Result struct {
-	UID      uint32
-	Dst      radio.NodeID
-	OK       bool
-	Latency  time.Duration
-	E2EHops  uint8
-	Detoured bool
-}
+type Result = protocol.Result
 
 var _ node.Protocol = (*Engine)(nil)
+var _ protocol.ControlProtocol = (*Engine)(nil)
+
+// Name identifies the protocol family for uniform stacks.
+func (e *Engine) Name() string { return "teleadjust" }
 
 // New creates a TeleAdjusting engine bound to a node and its CTP instance,
 // and registers it with the node runtime. The sink seeds itself with the
@@ -306,6 +301,22 @@ func (e *Engine) SpaceBits() int { return e.children.SpaceBits() }
 
 // Stats returns a copy of the statistics.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// ControlTx returns the node's logical control-plane transmissions (the
+// Table III metric): control forwards plus feedback sends.
+func (e *Engine) ControlTx() uint64 {
+	return e.stats.ControlSends + e.stats.FeedbackSends
+}
+
+// Detail exports the diagnostic counters the comparison studies report.
+func (e *Engine) Detail() map[string]uint64 {
+	return map[string]uint64{
+		"backtracks":     e.stats.Backtracks,
+		"rescues":        e.stats.Rescues,
+		"dup-deliveries": e.stats.ControlDupDeliv,
+		"feedbacks":      e.stats.FeedbackSends,
+	}
+}
 
 // ATHX returns the Fig-8 samples recorded at this node.
 func (e *Engine) ATHX() []ATHXSample {

@@ -23,7 +23,7 @@ func buildTele(t *testing.T, dep *topology.Deployment, seed uint64, mutate func(
 		Mac:      mac.DefaultConfig(),
 		Ctp:      ctp.DefaultConfig(),
 		Tele:     core.DefaultConfig(),
-		WithTele: true,
+		Protocol: experiment.ProtoTeleAdjust,
 		Seed:     seed,
 	}
 	// Faster experiments: shorter allocation delay and report interval.
@@ -54,12 +54,12 @@ func TestCodesConvergeOnLine(t *testing.T) {
 	run(t, net, 3*time.Minute)
 	// Every node must hold a code whose parent's code is a strict prefix.
 	for i := 1; i < 5; i++ {
-		code, ok := net.Teles[i].Code()
+		code, ok := net.Tele(radio.NodeID(i)).Code()
 		if !ok {
 			t.Fatalf("node %d has no code after 3 min", i)
 		}
-		parent := net.Ctps[i].Parent()
-		pcode, pok := net.Teles[parent].Code()
+		parent := net.Stacks[i].Ctp.Parent()
+		pcode, pok := net.Tele(radio.NodeID(parent)).Code()
 		if !pok {
 			t.Fatalf("parent %d of node %d has no code", parent, i)
 		}
@@ -70,7 +70,7 @@ func TestCodesConvergeOnLine(t *testing.T) {
 	// Codes must be unique.
 	seen := map[string]int{}
 	for i := 0; i < 5; i++ {
-		c, _ := net.Teles[i].Code()
+		c, _ := net.Tele(radio.NodeID(i)).Code()
 		if prev, dup := seen[c.String()]; dup {
 			t.Fatalf("nodes %d and %d share code %v", prev, i, c)
 		}
@@ -78,8 +78,8 @@ func TestCodesConvergeOnLine(t *testing.T) {
 	}
 	// Depth on a strict line equals the hop index.
 	for i := 1; i < 5; i++ {
-		if net.Teles[i].Depth() != uint8(i) {
-			t.Errorf("node %d depth = %d, want %d", i, net.Teles[i].Depth(), i)
+		if net.Tele(radio.NodeID(i)).Depth() != uint8(i) {
+			t.Errorf("node %d depth = %d, want %d", i, net.Tele(radio.NodeID(i)).Depth(), i)
 		}
 	}
 }
@@ -94,7 +94,7 @@ func TestControllerLearnsCodes(t *testing.T) {
 		if !ok {
 			t.Fatalf("controller has no code for node %d", i)
 		}
-		code, _ := net.Teles[i].Code()
+		code, _ := net.Tele(radio.NodeID(i)).Code()
 		if !info.Code.Equal(code) {
 			t.Fatalf("controller code %v != node code %v", info.Code, code)
 		}
@@ -109,7 +109,7 @@ func TestRemoteControlEndToEnd(t *testing.T) {
 	delivered := map[uint32]bool{}
 	for i := 1; i < 5; i++ {
 		i := i
-		net.Teles[i].SetDeliveredFn(func(uid uint32, hops uint8) { delivered[uid] = true })
+		net.Tele(radio.NodeID(i)).SetDeliveredFn(func(uid uint32, hops uint8) { delivered[uid] = true })
 	}
 	for i := 1; i < 5; i++ {
 		uid, err := net.SinkTele().SendControl(radio.NodeID(i), "set-param", func(r core.Result) {
@@ -147,7 +147,7 @@ func TestControlToUnknownNodeErrors(t *testing.T) {
 	if _, err := net.SinkTele().SendControl(net.Sink, "x", nil); err == nil {
 		t.Fatal("SendControl to self must error")
 	}
-	if _, err := net.Teles[1].SendControl(2, "x", nil); err == nil {
+	if _, err := net.Tele(radio.NodeID(1)).SendControl(2, "x", nil); err == nil {
 		t.Fatal("SendControl from non-sink must error")
 	}
 }
@@ -197,13 +197,13 @@ func TestRescuePathDeliversAroundDeadParent(t *testing.T) {
 	}
 	// Node 3's tree parent is 1 or 2; kill it so the encoded path breaks,
 	// then expect delivery anyway (opportunistic or rescue).
-	parent := net.Ctps[3].Parent()
+	parent := net.Stacks[3].Ctp.Parent()
 	if parent != 1 && parent != 2 {
 		t.Skipf("node 3's parent is %d; want 1 or 2", parent)
 	}
 	net.KillNode(parent)
 	deliveredAt := time.Duration(0)
-	net.Teles[3].SetDeliveredFn(func(uid uint32, hops uint8) { deliveredAt = net.Eng.Now() })
+	net.Tele(radio.NodeID(3)).SetDeliveredFn(func(uid uint32, hops uint8) { deliveredAt = net.Eng.Now() })
 	var res core.Result
 	got := false
 	if _, err := net.SinkTele().SendControl(3, "fix", func(r core.Result) { res = r; got = true }); err != nil {
@@ -246,7 +246,8 @@ func TestTransmissionCountReasonable(t *testing.T) {
 	net := buildTele(t, dep, 8, nil)
 	run(t, net, 3*time.Minute)
 	before := uint64(0)
-	for _, te := range net.Teles {
+	for _, st := range net.Stacks {
+		te := st.Ctrl.(*core.Engine)
 		before += te.Stats().ControlSends
 	}
 	const packets = 5
@@ -262,7 +263,8 @@ func TestTransmissionCountReasonable(t *testing.T) {
 		run(t, net, 25*time.Second)
 	}
 	after := uint64(0)
-	for _, te := range net.Teles {
+	for _, st := range net.Stacks {
+		te := st.Ctrl.(*core.Engine)
 		after += te.Stats().ControlSends
 	}
 	if okCount < packets-1 {
@@ -284,7 +286,7 @@ func TestATHXRecorded(t *testing.T) {
 	run(t, net, 30*time.Second)
 	samples := 0
 	for i := 1; i < 3; i++ {
-		samples += len(net.Teles[i].ATHX())
+		samples += len(net.Tele(radio.NodeID(i)).ATHX())
 	}
 	if samples == 0 {
 		t.Fatal("no ATHX samples recorded")
@@ -353,7 +355,7 @@ func TestSendControlMultiUnknownDest(t *testing.T) {
 	if err := net.SinkTele().SendControlMulti(nil, "x", nil); err == nil {
 		t.Fatal("empty destination set accepted")
 	}
-	if err := net.Teles[1].SendControlMulti([]radio.NodeID{2}, "x", nil); err == nil {
+	if err := net.Tele(radio.NodeID(1)).SendControlMulti([]radio.NodeID{2}, "x", nil); err == nil {
 		t.Fatal("non-sink multi-control accepted")
 	}
 }
@@ -379,31 +381,31 @@ func TestLiveSpaceExtension(t *testing.T) {
 		cfg.Tele.Reserve = core.TightReserve
 	})
 	run(t, net, 3*time.Minute)
-	if p := net.Ctps[4].Parent(); p != 2 {
+	if p := net.Stacks[4].Ctp.Parent(); p != 2 {
 		t.Skipf("node 4 parented under %d, want 2", p)
 	}
-	if p := net.Ctps[3].Parent(); p != 1 {
+	if p := net.Stacks[3].Ctp.Parent(); p != 1 {
 		t.Skipf("node 3 parented under %d, want 1", p)
 	}
-	if net.Teles[1].SpaceBits() != 1 {
-		t.Skipf("node 1 space = %d bits, want the tight 1-bit space", net.Teles[1].SpaceBits())
+	if net.Tele(radio.NodeID(1)).SpaceBits() != 1 {
+		t.Skipf("node 1 space = %d bits, want the tight 1-bit space", net.Tele(radio.NodeID(1)).SpaceBits())
 	}
 	// Kill node 2: node 4 re-attaches under node 1, whose 1-bit space is
 	// already full with node 3 — it must extend.
 	net.KillNode(2)
 	run(t, net, 4*time.Minute)
-	if p := net.Ctps[4].Parent(); p != 1 {
+	if p := net.Stacks[4].Ctp.Parent(); p != 1 {
 		t.Skipf("node 4 re-parented under %d, want 1", p)
 	}
-	if net.Teles[1].Stats().SpaceExtensions == 0 {
+	if net.Tele(radio.NodeID(1)).Stats().SpaceExtensions == 0 {
 		t.Fatal("no space extension despite a full tight space and a new child")
 	}
-	if net.Teles[1].SpaceBits() < 2 {
-		t.Fatalf("space = %d bits after extension", net.Teles[1].SpaceBits())
+	if net.Tele(radio.NodeID(1)).SpaceBits() < 2 {
+		t.Fatalf("space = %d bits after extension", net.Tele(radio.NodeID(1)).SpaceBits())
 	}
-	c1, _ := net.Teles[1].Code()
-	c3, ok3 := net.Teles[3].Code()
-	c4, ok4 := net.Teles[4].Code()
+	c1, _ := net.Tele(radio.NodeID(1)).Code()
+	c3, ok3 := net.Tele(radio.NodeID(3)).Code()
+	c4, ok4 := net.Tele(radio.NodeID(4)).Code()
 	if !ok3 || !ok4 {
 		t.Fatal("children lost their codes across the extension")
 	}
@@ -433,8 +435,8 @@ func TestCodeChangePropagatesToSubtree(t *testing.T) {
 	}
 	net := buildTele(t, dep, 62, nil)
 	run(t, net, 3*time.Minute)
-	c3, ok3 := net.Teles[3].Code()
-	c4, ok4 := net.Teles[4].Code()
+	c3, ok3 := net.Tele(radio.NodeID(3)).Code()
+	c4, ok4 := net.Tele(radio.NodeID(4)).Code()
 	if !ok3 || !ok4 {
 		t.Skip("codes did not converge")
 	}
@@ -443,14 +445,14 @@ func TestCodeChangePropagatesToSubtree(t *testing.T) {
 	}
 	// Kill node 3's current parent: it must re-attach via the other
 	// relay, obtain a new code, and node 4's code must follow.
-	oldParent := net.Ctps[3].Parent()
+	oldParent := net.Stacks[3].Ctp.Parent()
 	if oldParent != 1 && oldParent != 2 {
 		t.Skipf("node 3's parent is %d", oldParent)
 	}
 	net.KillNode(oldParent)
 	run(t, net, 4*time.Minute)
-	n3, ok3b := net.Teles[3].Code()
-	n4, ok4b := net.Teles[4].Code()
+	n3, ok3b := net.Tele(radio.NodeID(3)).Code()
+	n4, ok4b := net.Tele(radio.NodeID(4)).Code()
 	if !ok3b || !ok4b {
 		t.Fatal("codes lost after parent switch")
 	}

@@ -1,0 +1,296 @@
+package core
+
+// Fuzz tests for the wire encoding. Two properties, checked per message
+// type:
+//
+//  1. Decoding never panics, whatever bytes arrive (a malformed frame must
+//     not take a node down).
+//  2. Any value a decoder accepts survives marshal → unmarshal unchanged
+//     (decoders produce canonical values: tail bits masked, exact-length
+//     slices), and re-encoding is byte-stable.
+//
+// Seed inputs live both in f.Add calls and in the committed corpus under
+// testdata/fuzz/<FuzzName>/.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"teleadjust/internal/radio"
+)
+
+// fuzzExt is a representative beacon extension exercising every field.
+func fuzzExt() *TeleExt {
+	return &TeleExt{
+		HasCode:   true,
+		Code:      MustCode("10110100111"),
+		Depth:     4,
+		SpaceBits: 3,
+		Parent:    radio.NodeID(7),
+		Position:  5,
+		Allocations: []ChildEntry{
+			{Child: 9, Position: 1, Confirmed: true},
+			{Child: 12, Position: 6},
+		},
+	}
+}
+
+// fuzzControl is a representative control packet exercising every field.
+func fuzzControl() *Control {
+	return &Control{
+		UID:         0xdeadbeef,
+		Op:          42,
+		Dst:         17,
+		DstCode:     MustCode("1011001"),
+		Expected:    3,
+		ExpectedLen: 4,
+		Detour:      true,
+		FinalDst:    21,
+		Hops:        9,
+	}
+}
+
+// canonicalCode builds a canonical PathCode from fuzz-provided raw
+// material by routing it through the decoder, which masks tail bits and
+// zero-pads missing payload bytes.
+func canonicalCode(n byte, raw []byte) PathCode {
+	nbytes := (int(n) + 7) / 8
+	buf := make([]byte, 1+nbytes)
+	buf[0] = n
+	copy(buf[1:], raw)
+	c, _, err := DecodeCode(buf)
+	if err != nil {
+		panic(err) // unreachable: buf always holds the declared length
+	}
+	return c
+}
+
+// FuzzDecodeCode: decoding arbitrary bytes never panics; an accepted code
+// re-encodes to exactly the bytes consumed and decodes back equal.
+func FuzzDecodeCode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(AppendCode(nil, RootCode()))
+	f.Add(AppendCode(nil, MustCode("10110100111")))
+	f.Add([]byte{200, 1, 2, 3}) // declared length far beyond the payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, rest, err := DecodeCode(data)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - len(rest)
+		enc := AppendCode(nil, c)
+		if consumed != len(enc) {
+			t.Fatalf("decode consumed %d bytes but re-encoded to %d", consumed, len(enc))
+		}
+		c2, rest2, err := DecodeCode(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-decode left %d trailing bytes", len(rest2))
+		}
+		if !c.Equal(c2) {
+			t.Fatalf("round trip changed code: %v vs %v", c, c2)
+		}
+	})
+}
+
+// FuzzUnmarshalExt: beacon-extension decoding never panics and accepted
+// extensions round-trip.
+func FuzzUnmarshalExt(f *testing.F) {
+	f.Add(MarshalExt(fuzzExt()))
+	f.Add(MarshalExt(&TeleExt{Parent: radio.BroadcastID}))
+	f.Add([]byte{extFlagHasCode}) // code flag set but no code bytes
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalExt(data)
+		if err != nil {
+			return
+		}
+		enc := MarshalExt(e)
+		e2, err := UnmarshalExt(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(e, e2) {
+			t.Fatalf("round trip changed extension:\nfirst:  %+v\nsecond: %+v", e, e2)
+		}
+	})
+}
+
+// FuzzUnmarshalControl: control-packet decoding never panics and accepted
+// packets round-trip.
+func FuzzUnmarshalControl(f *testing.F) {
+	f.Add(MarshalControl(fuzzControl()))
+	f.Add(MarshalControl(&Control{}))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}) // minimum prefix, truncated code
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalControl(data)
+		if err != nil {
+			return
+		}
+		enc := MarshalControl(c)
+		c2, err := UnmarshalControl(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("round trip changed control:\nfirst:  %+v\nsecond: %+v", c, c2)
+		}
+	})
+}
+
+// FuzzUnmarshalFeedback: feedback decoding never panics and accepted
+// packets round-trip.
+func FuzzUnmarshalFeedback(f *testing.F) {
+	seed, err := MarshalFeedback(&Feedback{UID: 77, FailedRelay: 4, Ctrl: fuzzControl()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:8]) // embedded control truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fb, err := UnmarshalFeedback(data)
+		if err != nil {
+			return
+		}
+		enc, err := MarshalFeedback(fb)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		fb2, err := UnmarshalFeedback(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(fb, fb2) {
+			t.Fatalf("round trip changed feedback:\nfirst:  %+v\nsecond: %+v", fb, fb2)
+		}
+	})
+}
+
+// FuzzUnmarshalCodeReport: code-report decoding never panics and accepted
+// reports round-trip.
+func FuzzUnmarshalCodeReport(f *testing.F) {
+	f.Add(MarshalCodeReport(&CodeReport{Code: MustCode("110"), Depth: 3}))
+	f.Add([]byte{9, 0xFF}) // declared code length beyond the payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := UnmarshalCodeReport(data)
+		if err != nil {
+			return
+		}
+		enc := MarshalCodeReport(r)
+		r2, err := UnmarshalCodeReport(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(r, r2) {
+			t.Fatalf("round trip changed report:\nfirst:  %+v\nsecond: %+v", r, r2)
+		}
+	})
+}
+
+// FuzzUnmarshalE2EAck: ack decoding never panics and accepted acks
+// round-trip.
+func FuzzUnmarshalE2EAck(f *testing.F) {
+	f.Add(MarshalE2EAck(&E2EAck{UID: 5, From: 2, Hops: 6}))
+	f.Add([]byte{1, 2, 3}) // short
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := UnmarshalE2EAck(data)
+		if err != nil {
+			return
+		}
+		enc := MarshalE2EAck(a)
+		a2, err := UnmarshalE2EAck(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(a, a2) {
+			t.Fatalf("round trip changed ack:\nfirst:  %+v\nsecond: %+v", a, a2)
+		}
+	})
+}
+
+// FuzzControlEncode drives the encoder from the value side: any Control
+// built from fuzzed fields must marshal, unmarshal back equal, and
+// re-marshal to identical bytes.
+func FuzzControlEncode(f *testing.F) {
+	c := fuzzControl()
+	f.Add(c.UID, c.Op, uint16(c.Dst), uint16(c.Expected), uint16(c.FinalDst),
+		uint16(c.ExpectedLen), uint16(c.Hops), c.Detour, c.FinalLeg,
+		uint16(c.DstCode.Len()), AppendCode(nil, c.DstCode)[1:])
+	f.Add(uint32(0), uint32(0), uint16(0), uint16(0), uint16(0),
+		uint16(0), uint16(0), false, false, uint16(0), []byte{})
+	f.Fuzz(func(t *testing.T, uid, op uint32, dst, expected, finalDst, expectedLen, hops uint16,
+		detour, finalLeg bool, codeLen uint16, codeRaw []byte) {
+		c := &Control{
+			UID:         uid,
+			Op:          op,
+			Dst:         radio.NodeID(dst),
+			DstCode:     canonicalCode(byte(codeLen), codeRaw),
+			Expected:    radio.NodeID(expected),
+			ExpectedLen: uint8(expectedLen),
+			Detour:      detour,
+			FinalLeg:    finalLeg,
+			FinalDst:    radio.NodeID(finalDst),
+			Hops:        uint8(hops),
+		}
+		enc := MarshalControl(c)
+		got, err := UnmarshalControl(enc)
+		if err != nil {
+			t.Fatalf("decoding a marshalled control failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, got) {
+			t.Fatalf("round trip changed control:\nsent: %+v\ngot:  %+v", c, got)
+		}
+		if enc2 := MarshalControl(got); !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encode is not byte-stable")
+		}
+	})
+}
+
+// FuzzExtEncode drives the beacon-extension encoder from the value side,
+// deriving allocations from raw fuzz bytes.
+func FuzzExtEncode(f *testing.F) {
+	e := fuzzExt()
+	f.Add(true, uint16(e.Code.Len()), AppendCode(nil, e.Code)[1:],
+		uint16(e.Depth), uint16(e.SpaceBits), uint16(e.Parent), e.Position,
+		[]byte{0, 9, 0, 1, 1, 0, 12, 0, 6, 0})
+	f.Add(false, uint16(0), []byte{}, uint16(0), uint16(0), uint16(0xFFFF), uint16(0), []byte{})
+	f.Fuzz(func(t *testing.T, hasCode bool, codeLen uint16, codeRaw []byte,
+		depth, space, parent, position uint16, allocRaw []byte) {
+		e := &TeleExt{
+			HasCode:   hasCode,
+			Depth:     uint8(depth),
+			SpaceBits: uint8(space),
+			Parent:    radio.NodeID(parent),
+			Position:  position,
+		}
+		if hasCode {
+			e.Code = canonicalCode(byte(codeLen), codeRaw)
+		}
+		n := len(allocRaw) / 5
+		if n > 255 {
+			n = 255 // the wire format caps the allocation count at a byte
+		}
+		for i := 0; i < n; i++ {
+			a := allocRaw[5*i:]
+			e.Allocations = append(e.Allocations, ChildEntry{
+				Child:     radio.NodeID(uint16(a[0])<<8 | uint16(a[1])),
+				Position:  uint16(a[2])<<8 | uint16(a[3]),
+				Confirmed: a[4]&1 != 0,
+			})
+		}
+		enc := MarshalExt(e)
+		got, err := UnmarshalExt(enc)
+		if err != nil {
+			t.Fatalf("decoding a marshalled extension failed: %v", err)
+		}
+		if !reflect.DeepEqual(e, got) {
+			t.Fatalf("round trip changed extension:\nsent: %+v\ngot:  %+v", e, got)
+		}
+		if enc2 := MarshalExt(got); !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encode is not byte-stable")
+		}
+	})
+}

@@ -14,6 +14,7 @@ import (
 	"teleadjust/internal/ctp"
 	"teleadjust/internal/mac"
 	"teleadjust/internal/node"
+	"teleadjust/internal/protocol"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/sim"
 	"teleadjust/internal/trickle"
@@ -77,12 +78,7 @@ type Stats struct {
 }
 
 // Result mirrors the TeleAdjusting controller result for comparisons.
-type Result struct {
-	UID     uint32
-	Dst     radio.NodeID
-	OK      bool
-	Latency time.Duration
-}
+type Result = protocol.Result
 
 type valueState struct {
 	version uint32
@@ -114,7 +110,7 @@ type Drip struct {
 	uidSeq  uint32
 
 	onUpdate  func(key uint16, version uint32, payload any)
-	deliverFn func(uid uint32)
+	deliverFn func(uid uint32, hops uint8)
 
 	athx  []ATHXSample
 	stats Stats
@@ -122,10 +118,7 @@ type Drip struct {
 
 // ATHXSample is one Fig-8 scatter point: an update adopted at this node
 // after travelling Hops flood transmissions.
-type ATHXSample struct {
-	Hops uint8
-	At   time.Duration
-}
+type ATHXSample = protocol.ATHXSample
 
 // controlKey is the shared dissemination key remote-control commands ride
 // on. Sharing one key means a new command supersedes the previous one (a
@@ -136,6 +129,10 @@ type ATHXSample struct {
 const controlKey uint16 = 1
 
 var _ node.Protocol = (*Drip)(nil)
+var _ protocol.ControlProtocol = (*Drip)(nil)
+
+// Name identifies the protocol family for uniform stacks.
+func (d *Drip) Name() string { return "drip" }
 
 // New creates a Drip instance on the node, registered with the runtime.
 // The CTP instance carries end-to-end command acknowledgements upward; the
@@ -158,6 +155,12 @@ func New(n *node.Node, c *ctp.CTP, cfg Config, rng *rand.Rand) *Drip {
 	return d
 }
 
+// Start is part of the ControlProtocol lifecycle. Drip state is lazy — a
+// per-key Trickle timer starts on the first dissemination or adopted
+// update for that key — so Start has nothing to arm; it exists so node
+// stacks can drive every control protocol uniformly.
+func (d *Drip) Start() {}
+
 // Stop halts every value's Trickle timer.
 func (d *Drip) Stop() {
 	for _, v := range d.values {
@@ -171,11 +174,21 @@ func (d *Drip) SetUpdateFunc(fn func(key uint16, version uint32, payload any)) {
 }
 
 // SetDeliveredFn installs a hook fired when this node consumes a command
-// addressed to it.
-func (d *Drip) SetDeliveredFn(fn func(uid uint32)) { d.deliverFn = fn }
+// addressed to it; hops is the flood transmission count the command
+// travelled before adoption.
+func (d *Drip) SetDeliveredFn(fn func(uid uint32, hops uint8)) { d.deliverFn = fn }
 
 // Stats returns a copy of the statistics.
 func (d *Drip) Stats() Stats { return d.stats }
+
+// ControlTx returns the node's update transmissions (the Table III
+// metric: a flood charges every advertisement).
+func (d *Drip) ControlTx() uint64 { return d.stats.Sends }
+
+// Detail exports the diagnostic counters the comparison studies report.
+func (d *Drip) Detail() map[string]uint64 {
+	return map[string]uint64{"advertisements": d.stats.Sends}
+}
 
 // ATHX returns the Fig-8 samples recorded at this node.
 func (d *Drip) ATHX() []ATHXSample {
@@ -292,7 +305,7 @@ func (d *Drip) adopt(u *Update) {
 	}
 	d.stats.Delivered++
 	if d.deliverFn != nil {
-		d.deliverFn(cmd.UID)
+		d.deliverFn(cmd.UID, u.Hops)
 	}
 	_ = d.ctp.SendToSink(&CmdAck{UID: cmd.UID, From: d.node.ID()})
 }

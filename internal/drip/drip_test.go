@@ -22,7 +22,7 @@ func buildDrip(t *testing.T, dep *topology.Deployment, seed uint64) *experiment.
 		Mac:      mac.DefaultConfig(),
 		Ctp:      ctp.DefaultConfig(),
 		Drip:     drip.DefaultConfig(),
-		WithDrip: true,
+		Protocol: experiment.ProtoDrip,
 		Seed:     seed,
 	}
 	cfg.Drip.ControlTimeout = 30 * time.Second
@@ -43,7 +43,7 @@ func TestDisseminationReachesAllNodes(t *testing.T) {
 	got := map[int]uint32{}
 	for i := 1; i < 5; i++ {
 		i := i
-		net.Drips[i].SetUpdateFunc(func(key uint16, version uint32, payload any) {
+		net.Drip(radio.NodeID(i)).SetUpdateFunc(func(key uint16, version uint32, payload any) {
 			got[i] = version
 		})
 	}
@@ -55,8 +55,8 @@ func TestDisseminationReachesAllNodes(t *testing.T) {
 		if got[i] != 1 {
 			t.Fatalf("node %d version = %d, want 1", i, got[i])
 		}
-		if net.Drips[i].Version(7) != 1 {
-			t.Fatalf("node %d stored version %d", i, net.Drips[i].Version(7))
+		if net.Drip(radio.NodeID(i)).Version(7) != 1 {
+			t.Fatalf("node %d stored version %d", i, net.Drip(radio.NodeID(i)).Version(7))
 		}
 	}
 }
@@ -76,7 +76,7 @@ func TestNewVersionSupersedes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < 3; i++ {
-		if v := net.Drips[i].Version(7); v != 2 {
+		if v := net.Drip(radio.NodeID(i)).Version(7); v != 2 {
 			t.Fatalf("node %d version = %d, want 2", i, v)
 		}
 	}
@@ -91,7 +91,7 @@ func TestControlViaDissemination(t *testing.T) {
 	var res drip.Result
 	got := false
 	deliveredAt := map[uint32]bool{}
-	net.Drips[3].SetDeliveredFn(func(uid uint32) { deliveredAt[uid] = true })
+	net.Drip(3).SetDeliveredFn(func(uid uint32, hops uint8) { deliveredAt[uid] = true })
 	if _, err := net.SinkDrip().SendControl(3, "cmd", func(r drip.Result) { res = r; got = true }); err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestControlViaDissemination(t *testing.T) {
 		t.Fatalf("destination deliveries = %d, want 1", len(deliveredAt))
 	}
 	// Non-destinations must not deliver.
-	if net.Drips[1].Stats().Delivered != 0 {
+	if net.Drip(1).Stats().Delivered != 0 {
 		t.Fatal("non-destination consumed the command")
 	}
 }
@@ -119,8 +119,8 @@ func TestFloodingCostExceedsPathCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := uint64(0)
-	for _, d := range net.Drips {
-		before += d.Stats().Sends
+	for i := 0; i < net.Dep.Len(); i++ {
+		before += net.Drip(radio.NodeID(i)).Stats().Sends
 	}
 	if _, err := net.SinkDrip().SendControl(1, "cmd", nil); err != nil {
 		t.Fatal(err)
@@ -129,8 +129,8 @@ func TestFloodingCostExceedsPathCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	after := uint64(0)
-	for _, d := range net.Drips {
-		after += d.Stats().Sends
+	for i := 0; i < net.Dep.Len(); i++ {
+		after += net.Drip(radio.NodeID(i)).Stats().Sends
 	}
 	// Destination is 1 hop away, yet the flood must involve most nodes.
 	if after-before < 5 {
@@ -141,7 +141,7 @@ func TestFloodingCostExceedsPathCost(t *testing.T) {
 func TestSendControlFromNonSink(t *testing.T) {
 	dep := topology.Line(2, 7)
 	net := buildDrip(t, dep, 5)
-	if _, err := net.Drips[1].SendControl(0, "x", nil); err != drip.ErrNotSink {
+	if _, err := net.Drip(1).SendControl(0, "x", nil); err != drip.ErrNotSink {
 		t.Fatalf("err = %v, want ErrNotSink", err)
 	}
 }
@@ -153,9 +153,9 @@ func TestVersionZeroNeverAdvertised(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No value was ever disseminated: no Drip sends at all.
-	for i, d := range net.Drips {
-		if d.Stats().Sends != 0 {
-			t.Fatalf("node %d advertised version 0 (%d sends)", i, d.Stats().Sends)
+	for i := 0; i < net.Dep.Len(); i++ {
+		if n := net.Drip(radio.NodeID(i)).Stats().Sends; n != 0 {
+			t.Fatalf("node %d advertised version 0 (%d sends)", i, n)
 		}
 	}
 }
@@ -170,7 +170,7 @@ func TestOutdatedNeighborTriggersReadvertise(t *testing.T) {
 	if err := net.Run(30 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if net.Drips[2].Version(9) != 1 {
+	if net.Drip(2).Version(9) != 1 {
 		t.Skip("v1 did not reach node 2")
 	}
 	// All consistent now; inject v2 and verify it replaces v1 everywhere
@@ -180,7 +180,7 @@ func TestOutdatedNeighborTriggersReadvertise(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < 3; i++ {
-		if v := net.Drips[i].Version(9); v != 2 {
+		if v := net.Drip(radio.NodeID(i)).Version(9); v != 2 {
 			t.Fatalf("node %d stuck at version %d", i, v)
 		}
 	}

@@ -41,22 +41,42 @@ func TestBuildValidation(t *testing.T) {
 	}
 	bad := smallScenario(1)
 	bad.Dep = &topology.Deployment{Name: "empty"}
-	if _, err := Build(bad.config(true, false, false)); err == nil {
+	if _, err := Build(bad.config(ProtoTeleAdjust)); err == nil {
 		t.Fatal("Build with empty deployment accepted")
 	}
 }
 
 func TestBuildAllProtocols(t *testing.T) {
 	scn := smallScenario(1)
-	net, err := Build(scn.config(true, true, true))
+	for _, p := range Protocols() {
+		net, err := Build(scn.config(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if net.SinkCtrl() == nil {
+			t.Fatalf("%v: sink protocol instance missing", p)
+		}
+		if net.SinkCtrl().Name() == "" {
+			t.Fatalf("%v: unnamed protocol", p)
+		}
+		if net.Medium.NumNodes() != 8 {
+			t.Fatalf("%v: medium has %d nodes", p, net.Medium.NumNodes())
+		}
+	}
+	// Typed accessors resolve exactly the protocol the net was built with.
+	tele, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if net.SinkTele() == nil || net.SinkDrip() == nil || net.SinkRPL() == nil {
-		t.Fatal("sink protocol instances missing")
+	if tele.SinkTele() == nil || tele.SinkDrip() != nil || tele.SinkRPL() != nil {
+		t.Fatal("typed accessors disagree with the built protocol")
 	}
-	if net.Medium.NumNodes() != 8 {
-		t.Fatalf("medium has %d nodes", net.Medium.NumNodes())
+	none, err := Build(scn.config(ProtoNone))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.SinkCtrl() != nil {
+		t.Fatal("ProtoNone built a control protocol")
 	}
 }
 
@@ -142,7 +162,7 @@ func TestControlStudyAllProtocolsRun(t *testing.T) {
 }
 
 func TestControlStudyUnknownProto(t *testing.T) {
-	if _, err := RunControlStudy(smallScenario(5), Proto(99), DefaultControlOpts()); err == nil {
+	if _, err := RunControlStudy(smallScenario(5), Proto("bogus"), DefaultControlOpts()); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
 }
@@ -168,7 +188,7 @@ func TestSeedsRunnerMerges(t *testing.T) {
 
 func TestKillNodeSilencesRadio(t *testing.T) {
 	scn := smallScenario(6)
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,12 +196,12 @@ func TestKillNodeSilencesRadio(t *testing.T) {
 	if err := net.Run(30 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	before := net.Macs[3].Stats().FrameTx
+	before := net.Stacks[3].Mac.Stats().FrameTx
 	net.KillNode(3)
 	if err := net.Run(60 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if net.Macs[3].Stats().FrameTx != before {
+	if net.Stacks[3].Mac.Stats().FrameTx != before {
 		t.Fatal("killed node kept transmitting")
 	}
 	if net.Medium.Radio(3).On() {
@@ -191,7 +211,7 @@ func TestKillNodeSilencesRadio(t *testing.T) {
 
 func TestOracleBackedByMedium(t *testing.T) {
 	scn := smallScenario(7)
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +254,7 @@ func TestScenarioConstructors(t *testing.T) {
 
 func TestTreeAndCodeCoverageHelpers(t *testing.T) {
 	scn := smallScenario(8)
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		t.Fatal(err)
 	}

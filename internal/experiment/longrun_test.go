@@ -69,7 +69,7 @@ func TestLongSparseConvergence(t *testing.T) {
 		t.Skip("long reproduction test")
 	}
 	scn := SparseLinear(1)
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestLongSparseConvergence(t *testing.T) {
 	var attached, coded, maxHop int
 	measure := func() {
 		attached, coded, maxHop = 0, 0, 0
-		for i := range net.Ctps {
+		for i := range net.Stacks {
 			id := radio.NodeID(i)
 			if id == net.Sink {
 				continue
@@ -91,7 +91,7 @@ func TestLongSparseConvergence(t *testing.T) {
 					maxHop = h
 				}
 			}
-			if _, ok := net.Teles[i].Code(); ok {
+			if _, ok := net.Tele(id).Code(); ok {
 				coded++
 			}
 		}

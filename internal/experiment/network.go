@@ -1,7 +1,7 @@
 // Package experiment assembles complete simulated networks (radio medium,
-// MAC, node runtime, CTP, TeleAdjusting, Drip, RPL) and provides the
-// scenario runners that regenerate every table and figure of the paper's
-// evaluation.
+// MAC, node runtime, CTP, and a registry-selected control protocol) and
+// provides the scenario runners that regenerate every table and figure of
+// the paper's evaluation.
 package experiment
 
 import (
@@ -14,9 +14,11 @@ import (
 	"teleadjust/internal/mac"
 	"teleadjust/internal/node"
 	"teleadjust/internal/noise"
+	"teleadjust/internal/protocol"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/rpl"
 	"teleadjust/internal/sim"
+	"teleadjust/internal/stats"
 	"teleadjust/internal/topology"
 )
 
@@ -29,11 +31,11 @@ type Config struct {
 	Tele  core.Config
 	Drip  drip.Config
 	Rpl   rpl.Config
-	// Exactly one control protocol is normally enabled per run (they all
-	// claim the sink's CTP delivery hook for their end-to-end acks).
-	WithTele bool
-	WithDrip bool
-	WithRPL  bool
+	// Protocol selects the control protocol by registry key (ProtoNone
+	// builds a collection-only network). Exactly one control protocol
+	// runs per network: they all claim the sink's CTP delivery hook for
+	// their end-to-end acks.
+	Protocol Proto
 	// NoiseTraceSeed != 0 trains a CPM model on a synthetic noise trace
 	// with that seed; 0 uses the constant quiet floor.
 	NoiseTraceSeed uint64
@@ -47,19 +49,23 @@ type Config struct {
 	Seed         uint64
 }
 
-// Net is an assembled network.
+// Stack is one node's protocol stack: the link layer, the dispatch
+// runtime, the collection substrate, and the registry-built control
+// protocol (nil for collection-only networks).
+type Stack struct {
+	Mac  *mac.MAC
+	Node *node.Node
+	Ctp  *ctp.CTP
+	Ctrl protocol.ControlProtocol
+}
+
+// Net is an assembled network: one Stack per node over a shared medium.
 type Net struct {
 	Eng    *sim.Engine
 	Medium *radio.Medium
 	Dep    *topology.Deployment
 	Sink   radio.NodeID
-
-	Macs  []*mac.MAC
-	Nodes []*node.Node
-	Ctps  []*ctp.CTP
-	Teles []*core.Engine // nil entries when WithTele is false
-	Drips []*drip.Drip   // nil entries when WithDrip is false
-	Rpls  []*rpl.RPL     // nil entries when WithRPL is false
+	Stacks []*Stack
 
 	cfg Config
 }
@@ -70,6 +76,10 @@ func Build(cfg Config) (*Net, error) {
 		return nil, fmt.Errorf("experiment: no deployment")
 	}
 	if err := cfg.Dep.Validate(); err != nil {
+		return nil, err
+	}
+	build, err := builderFor(cfg.Protocol)
+	if err != nil {
 		return nil, err
 	}
 	eng := sim.NewEngine()
@@ -98,47 +108,38 @@ func Build(cfg Config) (*Net, error) {
 		Medium: med,
 		Dep:    cfg.Dep,
 		Sink:   radio.NodeID(cfg.Dep.Sink),
-		Macs:   make([]*mac.MAC, n),
-		Nodes:  make([]*node.Node, n),
-		Ctps:   make([]*ctp.CTP, n),
-		Teles:  make([]*core.Engine, n),
-		Drips:  make([]*drip.Drip, n),
-		Rpls:   make([]*rpl.RPL, n),
+		Stacks: make([]*Stack, n),
 		cfg:    cfg,
 	}
 	for i := 0; i < n; i++ {
 		id := radio.NodeID(i)
 		mcfg := cfg.Mac
 		mcfg.AlwaysOn = cfg.Mac.AlwaysOn || id == net.Sink
-		net.Macs[i] = mac.New(eng, med.Radio(id), mcfg, sim.DeriveRNG(cfg.Seed, 0x1000+uint64(i)), nil)
-		net.Nodes[i] = node.New(eng, net.Macs[i])
-		net.Ctps[i] = ctp.New(net.Nodes[i], cfg.Ctp, sim.DeriveRNG(cfg.Seed, 0x2000+uint64(i)), id == net.Sink)
-		if cfg.WithTele {
-			net.Teles[i] = core.New(net.Nodes[i], net.Ctps[i], cfg.Tele, sim.DeriveRNG(cfg.Seed, 0x3000+uint64(i)))
+		st := &Stack{}
+		st.Mac = mac.New(eng, med.Radio(id), mcfg, sim.DeriveRNG(cfg.Seed, 0x1000+uint64(i)), nil)
+		st.Node = node.New(eng, st.Mac)
+		st.Ctp = ctp.New(st.Node, cfg.Ctp, sim.DeriveRNG(cfg.Seed, 0x2000+uint64(i)), id == net.Sink)
+		if build != nil {
+			st.Ctrl = build(&net.cfg, st.Node, st.Ctp, i)
 		}
-		if cfg.WithDrip {
-			net.Drips[i] = drip.New(net.Nodes[i], net.Ctps[i], cfg.Drip, sim.DeriveRNG(cfg.Seed, 0x4000+uint64(i)))
-		}
-		if cfg.WithRPL {
-			net.Rpls[i] = rpl.New(net.Nodes[i], net.Ctps[i], cfg.Rpl, sim.DeriveRNG(cfg.Seed, 0x5000+uint64(i)))
-		}
+		net.Stacks[i] = st
 	}
-	if cfg.WithTele {
-		net.Teles[net.Sink].SetOracle(net.Oracle())
+	// The destination-unreachable countermeasure needs the controller's
+	// assumed global topology knowledge at the sink.
+	if te := net.SinkTele(); te != nil {
+		te.SetOracle(net.Oracle())
 	}
 	return net, nil
 }
 
-// Start launches MACs and protocols on all nodes.
+// Start launches the MAC, the collection substrate, and the control
+// protocol on every node.
 func (n *Net) Start() {
-	for i := range n.Macs {
-		n.Macs[i].Start()
-		n.Ctps[i].Start()
-		if n.Teles[i] != nil {
-			n.Teles[i].Start()
-		}
-		if n.Rpls[i] != nil {
-			n.Rpls[i].Start()
+	for _, st := range n.Stacks {
+		st.Mac.Start()
+		st.Ctp.Start()
+		if st.Ctrl != nil {
+			st.Ctrl.Start()
 		}
 	}
 }
@@ -153,11 +154,11 @@ type dataReading struct {
 // non-sink node at the given inter-packet interval, with random phases.
 func (n *Net) startDataTraffic(ipi time.Duration, seed uint64) {
 	rng := sim.DeriveRNG(seed, 0xda7a)
-	for i := range n.Ctps {
+	for i, st := range n.Stacks {
 		if radio.NodeID(i) == n.Sink {
 			continue
 		}
-		c := n.Ctps[i]
+		c := st.Ctp
 		seq := 0
 		tk := sim.NewTicker(n.Eng, ipi, func() {
 			seq++
@@ -170,43 +171,66 @@ func (n *Net) startDataTraffic(ipi time.Duration, seed uint64) {
 // KillNode models a node failure: every protocol stops and the radio goes
 // dark immediately.
 func (n *Net) KillNode(id radio.NodeID) {
-	i := int(id)
-	n.Ctps[i].Stop()
-	if n.Teles[i] != nil {
-		n.Teles[i].Stop()
+	st := n.Stacks[id]
+	st.Ctp.Stop()
+	if st.Ctrl != nil {
+		st.Ctrl.Stop()
 	}
-	if n.Drips[i] != nil {
-		n.Drips[i].Stop()
-	}
-	if n.Rpls[i] != nil {
-		n.Rpls[i].Stop()
-	}
-	n.Macs[i].Kill()
+	st.Mac.Kill()
 }
 
-// SinkDrip returns the sink's Drip instance (controller side).
-func (n *Net) SinkDrip() *drip.Drip { return n.Drips[n.Sink] }
+// Ctrl returns the node's control-protocol instance (nil for
+// collection-only networks).
+func (n *Net) Ctrl(id radio.NodeID) protocol.ControlProtocol { return n.Stacks[id].Ctrl }
 
-// SinkRPL returns the sink's RPL instance (controller side).
-func (n *Net) SinkRPL() *rpl.RPL { return n.Rpls[n.Sink] }
+// SinkCtrl returns the sink's control-protocol instance (the controller
+// side of whatever protocol the network was built with).
+func (n *Net) SinkCtrl() protocol.ControlProtocol { return n.Stacks[n.Sink].Ctrl }
+
+// Tele returns the node's TeleAdjusting engine, or nil when the network
+// runs a different (or no) control protocol. The coding and scope studies
+// use it for path-code introspection beyond the uniform interface.
+func (n *Net) Tele(id radio.NodeID) *core.Engine {
+	te, _ := n.Stacks[id].Ctrl.(*core.Engine)
+	return te
+}
+
+// SinkTele returns the sink's TeleAdjusting engine (controller side), or
+// nil when the network runs a different protocol.
+func (n *Net) SinkTele() *core.Engine { return n.Tele(n.Sink) }
+
+// Drip returns the node's Drip instance, or nil for other stacks.
+func (n *Net) Drip(id radio.NodeID) *drip.Drip {
+	d, _ := n.Stacks[id].Ctrl.(*drip.Drip)
+	return d
+}
+
+// SinkDrip returns the sink's Drip instance (controller side), or nil.
+func (n *Net) SinkDrip() *drip.Drip { return n.Drip(n.Sink) }
+
+// RPL returns the node's RPL instance, or nil for other stacks.
+func (n *Net) RPL(id radio.NodeID) *rpl.RPL {
+	r, _ := n.Stacks[id].Ctrl.(*rpl.RPL)
+	return r
+}
+
+// SinkRPL returns the sink's RPL instance (controller side), or nil.
+func (n *Net) SinkRPL() *rpl.RPL { return n.RPL(n.Sink) }
 
 // Run advances the simulation by d.
 func (n *Net) Run(d time.Duration) error {
 	return n.Eng.Run(n.Eng.Now() + d)
 }
 
-// SinkTele returns the sink's TeleAdjusting engine (controller side).
-func (n *Net) SinkTele() *core.Engine { return n.Teles[n.Sink] }
-
 // CTPHops walks the parent chain from id to the sink; -1 on detachment or
 // loop.
 func (n *Net) CTPHops(id radio.NodeID) int {
 	cur := id
-	for hops := 0; hops <= len(n.Ctps); hops++ {
+	for hops := 0; hops <= len(n.Stacks); hops++ {
 		if cur == n.Sink {
 			return hops
 		}
-		p := n.Ctps[cur].Parent()
+		p := n.Stacks[cur].Ctp.Parent()
 		if p == ctp.NoParent {
 			return -1
 		}
@@ -218,7 +242,7 @@ func (n *Net) CTPHops(id radio.NodeID) int {
 // TreeCoverage returns the fraction of non-sink nodes attached loop-free.
 func (n *Net) TreeCoverage() float64 {
 	attached := 0
-	for i := range n.Ctps {
+	for i := range n.Stacks {
 		if radio.NodeID(i) == n.Sink {
 			continue
 		}
@@ -226,24 +250,78 @@ func (n *Net) TreeCoverage() float64 {
 			attached++
 		}
 	}
-	return float64(attached) / float64(len(n.Ctps)-1)
+	return float64(attached) / float64(len(n.Stacks)-1)
 }
 
-// CodeCoverage returns the fraction of non-sink nodes holding a path code.
+// CodeCoverage returns the fraction of non-sink nodes holding a path code
+// (0 when the network does not run TeleAdjusting).
 func (n *Net) CodeCoverage() float64 {
-	if !n.cfg.WithTele {
-		return 0
-	}
-	have := 0
-	for i, t := range n.Teles {
-		if radio.NodeID(i) == n.Sink {
+	have, teles := 0, 0
+	for i := range n.Stacks {
+		id := radio.NodeID(i)
+		te := n.Tele(id)
+		if te == nil || id == n.Sink {
 			continue
 		}
-		if _, ok := t.Code(); ok {
+		teles++
+		if _, ok := te.Code(); ok {
 			have++
 		}
 	}
-	return float64(have) / float64(len(n.Teles)-1)
+	if teles == 0 {
+		return 0
+	}
+	return float64(have) / float64(len(n.Stacks)-1)
+}
+
+// controlTx sums the control protocol's logical transmissions
+// network-wide (the Table III metric).
+func (n *Net) controlTx() uint64 {
+	var sum uint64
+	for _, st := range n.Stacks {
+		if st.Ctrl != nil {
+			sum += st.Ctrl.ControlTx()
+		}
+	}
+	return sum
+}
+
+// detailPerPacket sums the control protocol's diagnostic counters
+// network-wide and normalizes them per sent packet.
+func (n *Net) detailPerPacket(sent int) map[string]float64 {
+	totals := make(map[string]uint64)
+	for _, st := range n.Stacks {
+		if st.Ctrl == nil {
+			continue
+		}
+		for k, v := range st.Ctrl.Detail() {
+			totals[k] += v
+		}
+	}
+	d := make(map[string]float64, len(totals))
+	for k, v := range totals {
+		d[k+"/pkt"] = float64(v) / float64(max(1, sent))
+	}
+	return d
+}
+
+// collectATHX gathers Fig-8 samples recorded after phaseStart.
+func (n *Net) collectATHX(sc *stats.Scatter, phaseStart time.Duration) {
+	for i, st := range n.Stacks {
+		id := radio.NodeID(i)
+		if id == n.Sink || st.Ctrl == nil {
+			continue
+		}
+		hops := n.CTPHops(id)
+		if hops <= 0 {
+			continue
+		}
+		for _, s := range st.Ctrl.ATHX() {
+			if s.At >= phaseStart {
+				sc.Add(float64(hops), float64(s.Hops))
+			}
+		}
+	}
 }
 
 // mediumOracle adapts the radio medium to the controller's topology

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"teleadjust/internal/sim"
+)
+
+// Replicator runs independent replications of a study — one fully
+// separate (sim.Engine, Net) pair per seed — on a bounded worker pool.
+// Each replication is single-threaded and deterministic, so parallelism
+// across replications is safe: no engine, medium, or RNG stream is shared
+// between seeds. Results are merged in seed order, making the aggregate
+// byte-identical no matter how the scheduler interleaves workers (and
+// identical to the serial Workers=1 run).
+type Replicator struct {
+	// Workers bounds the worker pool; <=0 means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// workers resolves the effective pool size.
+func (r Replicator) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// DeriveSeeds expands a base seed into n decorrelated replication seeds
+// using the engine's SplitMix64 stream derivation.
+func DeriveSeeds(base uint64, n int) []uint64 {
+	rng := sim.DeriveRNG(base, 0x5eed5)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	return seeds
+}
+
+// each runs fn once per seed index on the bounded pool and returns the
+// first error (lowest seed index wins, so failures are deterministic too).
+func (r Replicator) each(n int, fn func(i int) error) error {
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ControlStudy runs RunControlStudy once per seed (fresh topology and
+// channel per seed) and merges the results in seed order.
+func (r Replicator) ControlStudy(build func(seed uint64) Scenario, proto Proto, opts ControlOpts, seeds []uint64) (*ControlResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds given")
+	}
+	results := make([]*ControlResult, len(seeds))
+	err := r.each(len(seeds), func(i int) error {
+		res, err := RunControlStudy(build(seeds[i]), proto, opts)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeControlResults(results), nil
+}
+
+// CodingStudy runs RunCodingStudy once per seed and merges the results in
+// seed order.
+func (r Replicator) CodingStudy(build func(seed uint64) Scenario, dur time.Duration, seeds []uint64) (*CodingResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiment: no seeds given")
+	}
+	results := make([]*CodingResult, len(seeds))
+	err := r.each(len(seeds), func(i int) error {
+		res, err := RunCodingStudy(build(seeds[i]), dur)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeCodingResults(results), nil
+}

@@ -1,0 +1,136 @@
+package experiment
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// replicateOpts is a fast control study for replication tests.
+func replicateOpts() ControlOpts {
+	return ControlOpts{
+		Warmup:   90 * time.Second,
+		Packets:  3,
+		Interval: 16 * time.Second,
+		Drain:    20 * time.Second,
+	}
+}
+
+// TestParallelReplicationByteIdentical is the determinism contract of the
+// Replicator: N replications merged on a multi-worker pool must produce a
+// byte-identical report to the serial merge, regardless of scheduling.
+func TestParallelReplicationByteIdentical(t *testing.T) {
+	seeds := DeriveSeeds(7, 4)
+	opts := replicateOpts()
+
+	serial, err := Replicator{Workers: 1}.ControlStudy(smallScenario, ProtoTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Replicator{Workers: 4}.ControlStudy(smallScenario, ProtoTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sb, pb bytes.Buffer
+	WriteControlReport(&sb, serial)
+	WriteControlReport(&pb, parallel)
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("parallel merge diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			sb.String(), pb.String())
+	}
+	if serial.Sent != 3*len(seeds) {
+		t.Fatalf("merged Sent = %d, want %d", serial.Sent, 3*len(seeds))
+	}
+}
+
+// TestParallelCodingReplication checks the coding-study path of the
+// Replicator the same way.
+func TestParallelCodingReplication(t *testing.T) {
+	seeds := DeriveSeeds(9, 3)
+	serial, err := Replicator{Workers: 1}.CodingStudy(smallScenario, 2*time.Minute, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Replicator{Workers: 3}.CodingStudy(smallScenario, 2*time.Minute, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb, pb bytes.Buffer
+	WriteCodingReport(&sb, serial)
+	WriteCodingReport(&pb, parallel)
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("parallel coding merge diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			sb.String(), pb.String())
+	}
+}
+
+func TestDeriveSeedsDeterministic(t *testing.T) {
+	a := DeriveSeeds(1, 8)
+	b := DeriveSeeds(1, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d differs between derivations", i)
+		}
+	}
+	seen := map[uint64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Fatalf("duplicate derived seed %#x", s)
+		}
+		seen[s] = true
+	}
+	if c := DeriveSeeds(2, 8); c[0] == a[0] {
+		t.Fatal("different base seeds derived the same stream")
+	}
+}
+
+func TestReplicatorEmptySeeds(t *testing.T) {
+	if _, err := (Replicator{}).ControlStudy(smallScenario, ProtoTele, replicateOpts(), nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+	if _, err := (Replicator{}).CodingStudy(smallScenario, time.Minute, nil); err == nil {
+		t.Fatal("empty seed list accepted")
+	}
+}
+
+// TestReplicatorPropagatesErrors: a failing replication must surface its
+// error deterministically (lowest seed index wins).
+func TestReplicatorPropagatesErrors(t *testing.T) {
+	bad := func(seed uint64) Scenario {
+		s := smallScenario(seed)
+		if seed == 2 || seed == 3 {
+			s.Dep = nil // Build fails
+		}
+		return s
+	}
+	_, err := Replicator{Workers: 4}.ControlStudy(bad, ProtoTele, replicateOpts(), []uint64{1, 2, 3})
+	if err == nil {
+		t.Fatal("replication error swallowed")
+	}
+	want := fmt.Sprintf("%v", err)
+	for i := 0; i < 3; i++ {
+		_, err2 := Replicator{Workers: 4}.ControlStudy(bad, ProtoTele, replicateOpts(), []uint64{1, 2, 3})
+		if got := fmt.Sprintf("%v", err2); got != want {
+			t.Fatalf("error not deterministic: %q vs %q", got, want)
+		}
+	}
+}
+
+// TestReplicatorWorkerCaps: worker counts beyond the seed count and the
+// zero default both behave.
+func TestReplicatorWorkerCaps(t *testing.T) {
+	seeds := DeriveSeeds(5, 2)
+	opts := replicateOpts()
+	res, err := Replicator{Workers: 16}.ControlStudy(smallScenario, ProtoTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 6 {
+		t.Fatalf("sent = %d, want 6", res.Sent)
+	}
+	if w := (Replicator{Workers: 0}).workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+}

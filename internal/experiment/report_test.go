@@ -136,7 +136,7 @@ func TestCSVExports(t *testing.T) {
 
 func TestTopologySVG(t *testing.T) {
 	scn := smallScenario(10)
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		t.Fatal(err)
 	}

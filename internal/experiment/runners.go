@@ -2,13 +2,11 @@ package experiment
 
 import (
 	"errors"
-	"fmt"
+	"sort"
 	"time"
 
-	"teleadjust/internal/core"
-	"teleadjust/internal/drip"
+	"teleadjust/internal/protocol"
 	"teleadjust/internal/radio"
-	"teleadjust/internal/rpl"
 	"teleadjust/internal/sim"
 	"teleadjust/internal/stats"
 )
@@ -37,7 +35,7 @@ type CodingResult struct {
 // RunCodingStudy builds the scenario with TeleAdjusting, runs it for dur,
 // and extracts the Fig-6/Table-II metrics.
 func RunCodingStudy(scn Scenario, dur time.Duration) (*CodingResult, error) {
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		return nil, err
 	}
@@ -49,9 +47,9 @@ func RunCodingStudy(scn Scenario, dur time.Duration) (*CodingResult, error) {
 	for i := range foundAt {
 		foundAt[i] = -1
 	}
-	for i := range net.Ctps {
+	for i, st := range net.Stacks {
 		i := i
-		net.Ctps[i].OnParentChange(func(old, new radio.NodeID) {
+		st.Ctp.OnParentChange(func(old, new radio.NodeID) {
 			if foundAt[i] < 0 {
 				foundAt[i] = net.Eng.Now()
 			}
@@ -70,14 +68,14 @@ func RunCodingStudy(scn Scenario, dur time.Duration) (*CodingResult, error) {
 		ReverseVsCTP:       &stats.Scatter{},
 	}
 	var revSum, ctpSum float64
-	var pairCount, withCode int
-	for i := range net.Teles {
+	var withCode int
+	for i := range net.Stacks {
 		id := radio.NodeID(i)
 		if id == net.Sink {
 			continue
 		}
 		hops := net.CTPHops(id)
-		te := net.Teles[i]
+		te := net.Tele(id)
 		code, ok := te.Code()
 		if ok {
 			withCode++
@@ -86,7 +84,6 @@ func RunCodingStudy(scn Scenario, dur time.Duration) (*CodingResult, error) {
 				res.ReverseVsCTP.Add(float64(hops), float64(te.Depth()))
 				revSum += float64(te.Depth())
 				ctpSum += float64(hops)
-				pairCount++
 			}
 			// Fig 6c measures per-node convergence: beacon periods from
 			// when the node could start (it has a parent AND that parent
@@ -111,40 +108,8 @@ func RunCodingStudy(scn Scenario, dur time.Duration) (*CodingResult, error) {
 	if ctpSum > 0 {
 		res.HopRatio = revSum / ctpSum
 	}
-	_ = pairCount
 	res.Converged = float64(withCode) / float64(net.Dep.Len()-1)
 	return res, nil
-}
-
-// Proto selects the control protocol under test.
-type Proto int
-
-// Protocols of the comparison (Tele is TeleAdjusting without the
-// destination-unreachable countermeasure, ReTele with it, TeleStrict the
-// non-opportunistic ablation).
-const (
-	ProtoTele Proto = iota + 1
-	ProtoReTele
-	ProtoTeleStrict
-	ProtoDrip
-	ProtoRPL
-)
-
-// String returns the protocol's display name.
-func (p Proto) String() string {
-	switch p {
-	case ProtoTele:
-		return "Tele"
-	case ProtoReTele:
-		return "Re-Tele"
-	case ProtoTeleStrict:
-		return "Tele-strict"
-	case ProtoDrip:
-		return "Drip"
-	case ProtoRPL:
-		return "RPL"
-	}
-	return "unknown"
 }
 
 // ControlResult aggregates one control-plane run (Fig. 7–10, Table III).
@@ -218,28 +183,11 @@ func DefaultControlOpts() ControlOpts {
 }
 
 // RunControlStudy runs one protocol on the scenario and reports the
-// Fig 7–10 / Table III metrics.
+// Fig 7–10 / Table III metrics. The runner is protocol-agnostic: any
+// registered protocol key works, and all interaction goes through the
+// protocol.ControlProtocol interface.
 func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResult, error) {
-	cfg := scn.config(false, false, false)
-	switch proto {
-	case ProtoTele:
-		cfg.WithTele = true
-		cfg.Tele.Rescue = false
-	case ProtoReTele:
-		cfg.WithTele = true
-		cfg.Tele.Rescue = true
-	case ProtoTeleStrict:
-		cfg.WithTele = true
-		cfg.Tele.Rescue = false
-		cfg.Tele.Opportunistic = false
-	case ProtoDrip:
-		cfg.WithDrip = true
-	case ProtoRPL:
-		cfg.WithRPL = true
-	default:
-		return nil, fmt.Errorf("experiment: unknown protocol %d", proto)
-	}
-	net, err := Build(cfg)
+	net, err := Build(scn.config(proto))
 	if err != nil {
 		return nil, err
 	}
@@ -265,10 +213,10 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	// Snapshot baselines after warmup.
 	phaseStart := net.Eng.Now()
 	onBase := make([]time.Duration, net.Dep.Len())
-	for i, m := range net.Macs {
-		onBase[i] = m.RadioOnTime()
+	for i, st := range net.Stacks {
+		onBase[i] = st.Mac.RadioOnTime()
 	}
-	txBase := net.protoTxCount(proto)
+	txBase := net.controlTx()
 
 	type sent struct {
 		at   time.Duration
@@ -278,41 +226,16 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	sentByUID := make(map[uint32]*sent)
 	deliveredAt := make(map[uint32]time.Duration)
 
-	// Register delivered hooks once.
-	switch proto {
-	case ProtoTele, ProtoReTele, ProtoTeleStrict:
-		for i, te := range net.Teles {
-			if radio.NodeID(i) == net.Sink || te == nil {
-				continue
-			}
-			te.SetDeliveredFn(func(uid uint32, hops uint8) {
-				if _, ok := deliveredAt[uid]; !ok {
-					deliveredAt[uid] = net.Eng.Now()
-				}
-			})
+	// Register delivered hooks once, uniformly over all stacks.
+	for i, st := range net.Stacks {
+		if radio.NodeID(i) == net.Sink || st.Ctrl == nil {
+			continue
 		}
-	case ProtoDrip:
-		for i, d := range net.Drips {
-			if radio.NodeID(i) == net.Sink || d == nil {
-				continue
+		st.Ctrl.SetDeliveredFn(func(uid uint32, hops uint8) {
+			if _, ok := deliveredAt[uid]; !ok {
+				deliveredAt[uid] = net.Eng.Now()
 			}
-			d.SetDeliveredFn(func(uid uint32) {
-				if _, ok := deliveredAt[uid]; !ok {
-					deliveredAt[uid] = net.Eng.Now()
-				}
-			})
-		}
-	case ProtoRPL:
-		for i, r := range net.Rpls {
-			if radio.NodeID(i) == net.Sink || r == nil {
-				continue
-			}
-			r.SetDeliveredFn(func(uid uint32, hops uint8) {
-				if _, ok := deliveredAt[uid]; !ok {
-					deliveredAt[uid] = net.Eng.Now()
-				}
-			})
-		}
+		})
 	}
 
 	ackOK := 0
@@ -327,6 +250,7 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 		}
 	}
 	killed := 0
+	ctrl := net.SinkCtrl()
 	for p := 0; p < opts.Packets; p++ {
 		if killEvery > 0 && killed < opts.KillNodes && p > 0 && p%killEvery == 0 {
 			// Fail a random live non-sink node.
@@ -349,8 +273,8 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 			}
 		}
 		hops := net.CTPHops(dst)
-		uid, err := net.sendControlCB(proto, dst, func(ok bool) {
-			if ok {
+		uid, err := ctrl.SendControl(dst, "adjust", func(r protocol.Result) {
+			if r.OK {
 				ackOK++
 			}
 		})
@@ -358,10 +282,11 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 		case err == nil:
 			res.Sent++
 			sentByUID[uid] = &sent{at: net.Eng.Now(), dst: dst, hops: hops}
-		case errors.Is(err, rpl.ErrNoRoute):
-			// The stored route evaporated: that is RPL's failure mode
-			// under dynamics and counts against its delivery ratio, like
-			// any other undeliverable packet.
+		case errors.Is(err, protocol.ErrNoRoute):
+			// The stored route evaporated: that is the protocol's failure
+			// mode under dynamics (RPL's storing mode, notably) and counts
+			// against its delivery ratio, like any other undeliverable
+			// packet.
 			res.Sent++
 			res.Skipped++
 			h := hops
@@ -380,9 +305,16 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 		return nil, err
 	}
 
-	// Aggregate.
+	// Aggregate in ascending-UID order so the result is independent of map
+	// iteration order (byte-identical reports across runs and runners).
 	res.AckedOK = ackOK
-	for uid, s := range sentByUID {
+	uids := make([]uint32, 0, len(sentByUID))
+	for uid := range sentByUID {
+		uids = append(uids, uid)
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	for _, uid := range uids {
+		s := sentByUID[uid]
 		at, ok := deliveredAt[uid]
 		hop := s.hops
 		if hop < 1 {
@@ -396,71 +328,25 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 			res.PDRByHop.Add(hop, 0)
 		}
 	}
-	res.TxPerPacket = float64(net.protoTxCount(proto)-txBase) / float64(max(1, res.Sent))
-	res.Detail = net.protoDetail(proto, res.Sent)
+	res.TxPerPacket = float64(net.controlTx()-txBase) / float64(max(1, res.Sent))
+	res.Detail = net.detailPerPacket(res.Sent)
 	phaseDur := net.Eng.Now() - phaseStart
 	var dutySum float64
-	for i, m := range net.Macs {
-		dutySum += float64(m.RadioOnTime()-onBase[i]) / float64(phaseDur)
+	for i, st := range net.Stacks {
+		dutySum += float64(st.Mac.RadioOnTime()-onBase[i]) / float64(phaseDur)
 	}
-	res.AvgDutyCycle = dutySum / float64(len(net.Macs))
-	net.collectATHX(proto, res.ATHX, phaseStart)
+	res.AvgDutyCycle = dutySum / float64(len(net.Stacks))
+	net.collectATHX(res.ATHX, phaseStart)
 	return res, nil
 }
 
-// sendControlCB dispatches a control packet via the selected protocol,
-// reporting the controller-side outcome (e2e ack or timeout) through cb.
-func (n *Net) sendControlCB(proto Proto, dst radio.NodeID, cb func(ok bool)) (uint32, error) {
-	switch proto {
-	case ProtoTele, ProtoReTele, ProtoTeleStrict:
-		return n.SinkTele().SendControl(dst, "adjust", func(r core.Result) { cb(r.OK) })
-	case ProtoDrip:
-		return n.SinkDrip().SendControl(dst, "adjust", func(r drip.Result) { cb(r.OK) })
-	case ProtoRPL:
-		return n.SinkRPL().SendControl(dst, "adjust", func(r rpl.Result) { cb(r.OK) })
-	}
-	return 0, fmt.Errorf("experiment: unknown protocol %d", proto)
-}
-
-// protoTxCount sums the protocol's logical control-plane transmissions
-// network-wide (the Table III metric).
-func (n *Net) protoTxCount(proto Proto) uint64 {
-	var sum uint64
-	switch proto {
-	case ProtoTele, ProtoReTele, ProtoTeleStrict:
-		for _, te := range n.Teles {
-			if te != nil {
-				s := te.Stats()
-				sum += s.ControlSends + s.FeedbackSends
-			}
-		}
-	case ProtoDrip:
-		for _, d := range n.Drips {
-			if d != nil {
-				sum += d.Stats().Sends
-			}
-		}
-	case ProtoRPL:
-		for _, r := range n.Rpls {
-			if r != nil {
-				sum += r.Stats().DownSends
-			}
-		}
-	}
-	return sum
-}
-
-// RunControlStudySeeds runs the study across several seeds (fresh topology
-// and channel per seed) and merges the results, reducing single-run
-// variance the way the paper averages over at least 5 runs.
-func RunControlStudySeeds(build func(seed uint64) Scenario, proto Proto, opts ControlOpts, seeds []uint64) (*ControlResult, error) {
+// mergeControlResults merges per-seed control results in slice order; the
+// caller guarantees that order is the seed order regardless of which
+// worker finished first, keeping the merge deterministic.
+func mergeControlResults(results []*ControlResult) *ControlResult {
 	var merged *ControlResult
 	var txSum, dutySum float64
-	for _, seed := range seeds {
-		res, err := RunControlStudy(build(seed), proto, opts)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		txSum += res.TxPerPacket
 		dutySum += res.AvgDutyCycle
 		if merged == nil {
@@ -474,24 +360,28 @@ func RunControlStudySeeds(build func(seed uint64) Scenario, proto Proto, opts Co
 		merged.PDRByHop.Merge(res.PDRByHop)
 		merged.LatencyByHop.Merge(res.LatencyByHop)
 		merged.ATHX.Merge(res.ATHX)
+		for k, v := range res.Detail {
+			merged.Detail[k] += v
+		}
 	}
 	if merged == nil {
-		return nil, fmt.Errorf("experiment: no seeds given")
+		return nil
 	}
-	merged.TxPerPacket = txSum / float64(len(seeds))
-	merged.AvgDutyCycle = dutySum / float64(len(seeds))
-	return merged, nil
+	merged.TxPerPacket = txSum / float64(len(results))
+	merged.AvgDutyCycle = dutySum / float64(len(results))
+	if len(results) > 1 {
+		for k := range merged.Detail {
+			merged.Detail[k] /= float64(len(results))
+		}
+	}
+	return merged
 }
 
-// RunCodingStudySeeds merges coding studies over several seeds.
-func RunCodingStudySeeds(build func(seed uint64) Scenario, dur time.Duration, seeds []uint64) (*CodingResult, error) {
+// mergeCodingResults merges per-seed coding results in slice order.
+func mergeCodingResults(results []*CodingResult) *CodingResult {
 	var merged *CodingResult
 	var ratioSum, convSum float64
-	for _, seed := range seeds {
-		res, err := RunCodingStudy(build(seed), dur)
-		if err != nil {
-			return nil, err
-		}
+	for _, res := range results {
 		ratioSum += res.HopRatio
 		convSum += res.Converged
 		if merged == nil {
@@ -506,100 +396,22 @@ func RunCodingStudySeeds(build func(seed uint64) Scenario, dur time.Duration, se
 		merged.ReverseVsCTP.Merge(res.ReverseVsCTP)
 	}
 	if merged == nil {
-		return nil, fmt.Errorf("experiment: no seeds given")
+		return nil
 	}
-	merged.HopRatio = ratioSum / float64(len(seeds))
-	merged.Converged = convSum / float64(len(seeds))
-	return merged, nil
+	merged.HopRatio = ratioSum / float64(len(results))
+	merged.Converged = convSum / float64(len(results))
+	return merged
 }
 
-// protoDetail gathers protocol-specific per-packet diagnostics.
-func (n *Net) protoDetail(proto Proto, sent int) map[string]float64 {
-	per := func(v uint64) float64 { return float64(v) / float64(max(1, sent)) }
-	d := make(map[string]float64)
-	switch proto {
-	case ProtoTele, ProtoReTele, ProtoTeleStrict:
-		var s core.Stats
-		for _, te := range n.Teles {
-			if te == nil {
-				continue
-			}
-			t := te.Stats()
-			s.Backtracks += t.Backtracks
-			s.Rescues += t.Rescues
-			s.ControlDupDeliv += t.ControlDupDeliv
-			s.FeedbackSends += t.FeedbackSends
-			s.SendFailures += t.SendFailures
-		}
-		d["backtracks/pkt"] = per(s.Backtracks)
-		d["rescues/pkt"] = per(s.Rescues)
-		d["dup-deliveries/pkt"] = per(s.ControlDupDeliv)
-		d["feedbacks/pkt"] = per(s.FeedbackSends)
-	case ProtoDrip:
-		var sends, vers uint64
-		for _, dr := range n.Drips {
-			if dr == nil {
-				continue
-			}
-			st := dr.Stats()
-			sends += st.Sends
-			vers += st.NewVersions
-		}
-		d["advertisements/pkt"] = per(sends)
-	case ProtoRPL:
-		var dao, noRoute, retry uint64
-		for _, r := range n.Rpls {
-			if r == nil {
-				continue
-			}
-			st := r.Stats()
-			dao += st.DAOSent
-			noRoute += st.DropNoRoute
-			retry += st.DropRetry
-		}
-		d["daos/pkt"] = per(dao)
-		d["drops-no-route/pkt"] = per(noRoute)
-		d["drops-retry/pkt"] = per(retry)
-	}
-	return d
+// RunControlStudySeeds runs the study across several seeds (fresh topology
+// and channel per seed) and merges the results, reducing single-run
+// variance the way the paper averages over at least 5 runs. Replications
+// run serially; use Replicator for the parallel version.
+func RunControlStudySeeds(build func(seed uint64) Scenario, proto Proto, opts ControlOpts, seeds []uint64) (*ControlResult, error) {
+	return Replicator{Workers: 1}.ControlStudy(build, proto, opts, seeds)
 }
 
-// collectATHX gathers Fig-8 samples recorded after phaseStart.
-func (n *Net) collectATHX(proto Proto, sc *stats.Scatter, phaseStart time.Duration) {
-	for i := range n.Macs {
-		id := radio.NodeID(i)
-		if id == n.Sink {
-			continue
-		}
-		hops := n.CTPHops(id)
-		if hops <= 0 {
-			continue
-		}
-		switch proto {
-		case ProtoTele, ProtoReTele, ProtoTeleStrict:
-			if te := n.Teles[i]; te != nil {
-				for _, s := range te.ATHX() {
-					if s.At >= phaseStart {
-						sc.Add(float64(hops), float64(s.Hops))
-					}
-				}
-			}
-		case ProtoDrip:
-			if d := n.Drips[i]; d != nil {
-				for _, s := range d.ATHX() {
-					if s.At >= phaseStart {
-						sc.Add(float64(hops), float64(s.Hops))
-					}
-				}
-			}
-		case ProtoRPL:
-			if r := n.Rpls[i]; r != nil {
-				for _, s := range r.ATHX() {
-					if s.At >= phaseStart {
-						sc.Add(float64(hops), float64(s.Hops))
-					}
-				}
-			}
-		}
-	}
+// RunCodingStudySeeds merges coding studies over several seeds.
+func RunCodingStudySeeds(build func(seed uint64) Scenario, dur time.Duration, seeds []uint64) (*CodingResult, error) {
+	return Replicator{Workers: 1}.CodingStudy(build, dur, seeds)
 }

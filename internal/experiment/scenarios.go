@@ -126,8 +126,8 @@ func Indoor(seed uint64, wifi bool) Scenario {
 }
 
 // config builds a network Config from the scenario with the given
-// protocol selection.
-func (s Scenario) config(withTele, withDrip, withRPL bool) Config {
+// protocol registry key.
+func (s Scenario) config(p Proto) Config {
 	return Config{
 		Dep:            s.Dep,
 		Radio:          s.Radio,
@@ -136,9 +136,7 @@ func (s Scenario) config(withTele, withDrip, withRPL bool) Config {
 		Tele:           s.Tele,
 		Drip:           s.Drip,
 		Rpl:            s.Rpl,
-		WithTele:       withTele,
-		WithDrip:       withDrip,
-		WithRPL:        withRPL,
+		Protocol:       p,
 		NoiseTraceSeed: s.NoiseSeed,
 		NoiseProfile:   s.NoiseProfile,
 		WifiPowerDBm:   s.WifiPowerDBm,

@@ -53,7 +53,7 @@ func RunScopeStudy(scn Scenario, opts ScopeOpts) (*ScopeStudyResult, error) {
 	res := &ScopeStudyResult{Scenario: scn.Name, Coverage: &stats.Series{}}
 
 	// Pass 1: scoped floods.
-	net, err := Build(scn.config(true, false, false))
+	net, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		return nil, err
 	}
@@ -62,7 +62,7 @@ func RunScopeStudy(scn Scenario, opts ScopeOpts) (*ScopeStudyResult, error) {
 		return nil, err
 	}
 	scopes, memberSets := topScopes(net.SinkTele(), opts.Operations)
-	txBase := teleTxCount(net)
+	txBase := net.controlTx()
 	for i, scope := range scopes {
 		done := false
 		var r core.ScopeResult
@@ -84,12 +84,12 @@ func RunScopeStudy(scn Scenario, opts ScopeOpts) (*ScopeStudyResult, error) {
 		res.Coverage.Add(r.Coverage())
 	}
 	if res.Members > 0 {
-		res.TxPerMember = float64(teleTxCount(net)-txBase) / float64(res.Members)
+		res.TxPerMember = float64(net.controlTx()-txBase) / float64(res.Members)
 	}
 
 	// Pass 2: the same member sets via per-member unicast on a twin
 	// network (same seed ⇒ same topology; tree details may differ).
-	net2, err := Build(scn.config(true, false, false))
+	net2, err := Build(scn.config(ProtoTeleAdjust))
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +97,7 @@ func RunScopeStudy(scn Scenario, opts ScopeOpts) (*ScopeStudyResult, error) {
 	if err := net2.Run(opts.Warmup); err != nil {
 		return nil, err
 	}
-	tx2Base := teleTxCount(net2)
+	tx2Base := net2.controlTx()
 	addressed := 0
 	for _, members := range memberSets {
 		for _, id := range members {
@@ -114,7 +114,7 @@ func RunScopeStudy(scn Scenario, opts ScopeOpts) (*ScopeStudyResult, error) {
 		return nil, err
 	}
 	if addressed > 0 {
-		res.UnicastTxPerMember = float64(teleTxCount(net2)-tx2Base) / float64(addressed)
+		res.UnicastTxPerMember = float64(net2.controlTx()-tx2Base) / float64(addressed)
 	}
 	return res, nil
 }
@@ -172,15 +172,4 @@ func topScopes(sink *core.Engine, n int) ([]core.PathCode, [][]radio.NodeID) {
 		members[i] = st.members
 	}
 	return scopes, members
-}
-
-func teleTxCount(n *Net) uint64 {
-	var sum uint64
-	for _, te := range n.Teles {
-		if te != nil {
-			s := te.Stats()
-			sum += s.ControlSends + s.FeedbackSends
-		}
-	}
-	return sum
 }

@@ -40,8 +40,8 @@ func (n *Net) WriteTopologySVG(w io.Writer) error {
 	fmt.Fprintln(w, `<rect width="100%" height="100%" fill="white"/>`)
 
 	// Tree edges.
-	for i := range n.Ctps {
-		p := n.Ctps[i].Parent()
+	for i := range n.Stacks {
+		p := n.Stacks[i].Ctp.Parent()
 		if int(p) >= n.Dep.Len() {
 			continue
 		}
@@ -61,8 +61,8 @@ func (n *Net) WriteTopologySVG(w io.Writer) error {
 		}
 		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, r, fill)
 		label := fmt.Sprintf("%d", i)
-		if n.Teles[i] != nil {
-			if code, ok := n.Teles[i].Code(); ok {
+		if te := n.Tele(radio.NodeID(i)); te != nil {
+			if code, ok := te.Code(); ok {
 				label = fmt.Sprintf("%d:%s", i, code)
 			}
 		}

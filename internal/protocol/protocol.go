@@ -1,0 +1,77 @@
+// Package protocol defines the uniform surface every control protocol in
+// this repository (TeleAdjusting, Drip, RPL) presents to the experiment
+// layer: a lifecycle, a sink-side dispatch entry point, an end-to-end
+// delivery hook, and the metric exports the paper's evaluation compares
+// (Table III transmission counts, Fig. 8 ATHX samples, per-protocol
+// diagnostics). Node stacks hold a ControlProtocol value instead of one
+// concrete field per protocol, which keeps the scenario runners
+// protocol-agnostic: adding a protocol means implementing this interface
+// and registering a builder, not threading a new parallel slice through
+// every study.
+package protocol
+
+import (
+	"errors"
+	"time"
+
+	"teleadjust/internal/radio"
+)
+
+// ErrNoRoute reports that the controller holds no routing state (stored
+// route, path code, ...) for the requested destination at dispatch time.
+// Protocol-specific sentinels wrap this error so runners can classify the
+// failure without knowing the concrete protocol.
+var ErrNoRoute = errors.New("protocol: no route to destination")
+
+// Result is the controller-side outcome of one control operation,
+// reported through the SendControl callback on the end-to-end
+// acknowledgement or the controller timeout.
+type Result struct {
+	UID     uint32
+	Dst     radio.NodeID
+	OK      bool
+	Latency time.Duration
+	// E2EHops is the transmission count the acknowledgement reported
+	// (TeleAdjusting and RPL; zero for Drip floods).
+	E2EHops uint8
+	// Detoured reports that the packet left the coded path and was routed
+	// around a failure (TeleAdjusting only).
+	Detoured bool
+}
+
+// ATHXSample is one Fig-8 scatter point: a control packet (or flood
+// update) received at a node after travelling Hops logical transmissions.
+type ATHXSample struct {
+	Hops uint8
+	At   time.Duration
+}
+
+// ControlProtocol is the lifecycle and control-plane surface of one
+// node's protocol instance. Construction (with protocol-specific config
+// and RNG streams) stays in each package's New; everything the experiment
+// layer touches afterwards goes through this interface.
+type ControlProtocol interface {
+	// Name identifies the protocol family ("teleadjust", "drip", "rpl").
+	Name() string
+	// Start arms timers and hooks; called once after the MAC and routing
+	// substrate of the node are running.
+	Start()
+	// Stop halts all protocol activity (node failure or teardown).
+	Stop()
+	// SendControl dispatches a control operation for dst from the sink
+	// and reports the end-to-end outcome (ack or timeout) through cb.
+	// Off-sink instances return an error.
+	SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32, error)
+	// SetDeliveredFn installs a hook fired when this node consumes a
+	// control packet addressed to it. Protocols without a meaningful hop
+	// count report hops == 0.
+	SetDeliveredFn(fn func(uid uint32, hops uint8))
+	// ControlTx returns the node's logical control-plane transmission
+	// count (the Table III metric).
+	ControlTx() uint64
+	// Detail returns protocol-specific diagnostic counters (backtracks,
+	// rescues, DAO traffic, ...), keyed by stable names.
+	Detail() map[string]uint64
+	// ATHX returns the Fig-8 samples recorded at this node.
+	ATHX() []ATHXSample
+}

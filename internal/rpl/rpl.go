@@ -9,12 +9,14 @@ package rpl
 
 import (
 	"errors"
+	"fmt"
 	"math/rand/v2"
 	"time"
 
 	"teleadjust/internal/ctp"
 	"teleadjust/internal/mac"
 	"teleadjust/internal/node"
+	"teleadjust/internal/protocol"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/sim"
 )
@@ -81,13 +83,7 @@ type Stats struct {
 }
 
 // Result mirrors the TeleAdjusting controller result.
-type Result struct {
-	UID     uint32
-	Dst     radio.NodeID
-	OK      bool
-	Latency time.Duration
-	E2EHops uint8
-}
+type Result = protocol.Result
 
 type route struct {
 	next radio.NodeID
@@ -132,12 +128,13 @@ type RPL struct {
 
 // ATHXSample is one Fig-8 scatter point: a downward packet received at
 // this node after travelling Hops transmissions.
-type ATHXSample struct {
-	Hops uint8
-	At   time.Duration
-}
+type ATHXSample = protocol.ATHXSample
 
 var _ node.Protocol = (*RPL)(nil)
+var _ protocol.ControlProtocol = (*RPL)(nil)
+
+// Name identifies the protocol family for uniform stacks.
+func (r *RPL) Name() string { return "rpl" }
 
 // New creates an RPL instance on the node, registered with the runtime.
 // The sink instance takes over the CTP sink delivery hook for DownAcks.
@@ -189,6 +186,19 @@ func (r *RPL) Stats() Stats {
 	return s
 }
 
+// ControlTx returns the node's downward transmissions (the Table III
+// metric).
+func (r *RPL) ControlTx() uint64 { return r.stats.DownSends }
+
+// Detail exports the diagnostic counters the comparison studies report.
+func (r *RPL) Detail() map[string]uint64 {
+	return map[string]uint64{
+		"daos":           r.stats.DAOSent,
+		"drops-no-route": r.stats.DropNoRoute,
+		"drops-retry":    r.stats.DropRetry,
+	}
+}
+
 // ATHX returns the Fig-8 samples recorded at this node.
 func (r *RPL) ATHX() []ATHXSample {
 	out := make([]ATHXSample, len(r.athx))
@@ -205,8 +215,10 @@ func (r *RPL) HasRoute(dst radio.NodeID) bool {
 // ErrNotSink is returned when control operations originate off-sink.
 var ErrNotSink = errors.New("rpl: control operations originate at the sink")
 
-// ErrNoRoute is returned when the sink has no stored route for dst.
-var ErrNoRoute = errors.New("rpl: no stored downward route")
+// ErrNoRoute is returned when the sink has no stored route for dst. It
+// wraps protocol.ErrNoRoute so protocol-agnostic runners can classify the
+// failure.
+var ErrNoRoute = fmt.Errorf("rpl: no stored downward route: %w", protocol.ErrNoRoute)
 
 // SendControl routes app downward to dst; cb fires on the end-to-end ack
 // or timeout.

@@ -17,13 +17,13 @@ func buildRPL(t *testing.T, dep *topology.Deployment, seed uint64) *experiment.N
 	params := radio.DefaultParams()
 	params.ShadowSigmaDB = 0
 	cfg := experiment.Config{
-		Dep:     dep,
-		Radio:   params,
-		Mac:     mac.DefaultConfig(),
-		Ctp:     ctp.DefaultConfig(),
-		Rpl:     rpl.DefaultConfig(),
-		WithRPL: true,
-		Seed:    seed,
+		Dep:      dep,
+		Radio:    params,
+		Mac:      mac.DefaultConfig(),
+		Ctp:      ctp.DefaultConfig(),
+		Rpl:      rpl.DefaultConfig(),
+		Protocol: experiment.ProtoRPL,
+		Seed:     seed,
 	}
 	cfg.Rpl.DAOInterval = 20 * time.Second
 	cfg.Rpl.ControlTimeout = 30 * time.Second
@@ -48,10 +48,10 @@ func TestDAOsPopulateRoutes(t *testing.T) {
 			t.Fatalf("sink has no route to node %d", i)
 		}
 	}
-	if !net.Rpls[1].HasRoute(3) {
+	if !net.RPL(1).HasRoute(3) {
 		t.Fatal("node 1 has no route to descendant 3")
 	}
-	if net.Rpls[3].HasRoute(1) {
+	if net.RPL(3).HasRoute(1) {
 		t.Fatal("leaf stores a route to its ancestor")
 	}
 }
@@ -65,7 +65,7 @@ func TestDownwardControlDelivers(t *testing.T) {
 	var res rpl.Result
 	got := false
 	var deliveredHops uint8
-	net.Rpls[3].SetDeliveredFn(func(uid uint32, hops uint8) { deliveredHops = hops })
+	net.RPL(3).SetDeliveredFn(func(uid uint32, hops uint8) { deliveredHops = hops })
 	if _, err := net.SinkRPL().SendControl(3, "cmd", func(r rpl.Result) { res = r; got = true }); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestNoRouteError(t *testing.T) {
 	if _, err := net.SinkRPL().SendControl(2, "x", nil); err != rpl.ErrNoRoute {
 		t.Fatalf("err = %v, want ErrNoRoute", err)
 	}
-	if _, err := net.Rpls[1].SendControl(2, "x", nil); err != rpl.ErrNotSink {
+	if _, err := net.RPL(1).SendControl(2, "x", nil); err != rpl.ErrNotSink {
 		t.Fatalf("err = %v, want ErrNotSink", err)
 	}
 }
@@ -127,8 +127,8 @@ func TestTransmissionsMatchHops(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := uint64(0)
-	for _, r := range net.Rpls {
-		before += r.Stats().DownSends
+	for i := 0; i < net.Dep.Len(); i++ {
+		before += net.RPL(radio.NodeID(i)).Stats().DownSends
 	}
 	const packets = 5
 	okCount := 0
@@ -145,8 +145,8 @@ func TestTransmissionsMatchHops(t *testing.T) {
 		}
 	}
 	after := uint64(0)
-	for _, r := range net.Rpls {
-		after += r.Stats().DownSends
+	for i := 0; i < net.Dep.Len(); i++ {
+		after += net.RPL(radio.NodeID(i)).Stats().DownSends
 	}
 	if okCount < packets-1 {
 		t.Fatalf("only %d/%d delivered", okCount, packets)
@@ -206,7 +206,7 @@ func TestRPLStatsSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i < 4; i++ {
-		if net.Rpls[i].Stats().DAOSent == 0 {
+		if net.RPL(radio.NodeID(i)).Stats().DAOSent == 0 {
 			t.Fatalf("node %d never advertised", i)
 		}
 	}
@@ -217,8 +217,8 @@ func TestRPLStatsSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 	var down uint64
-	for _, r := range net.Rpls {
-		down += r.Stats().DownSends
+	for i := 0; i < net.Dep.Len(); i++ {
+		down += net.RPL(radio.NodeID(i)).Stats().DownSends
 	}
 	if down == 0 {
 		t.Fatal("no downward transmissions recorded")

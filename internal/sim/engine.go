@@ -24,19 +24,22 @@ type Event struct {
 	fn   func()
 	idx  int // heap index; -1 when not queued
 	dead bool
+	eng  *Engine
 }
 
 // At reports the virtual time this event is (or was) scheduled to fire.
 func (e *Event) At() time.Duration { return e.at }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op. Cancel reports whether the event was
-// still pending.
+// Cancel prevents the event from firing and removes it from the engine's
+// heap immediately via its stored index, so cancelled events do not linger
+// until popped. Cancelling an already-fired or already-cancelled event is a
+// no-op. Cancel reports whether the event was still pending.
 func (e *Event) Cancel() bool {
 	if e == nil || e.dead || e.idx < 0 {
 		return false
 	}
 	e.dead = true
+	heap.Remove(&e.eng.queue, e.idx)
 	return true
 }
 
@@ -95,7 +98,7 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
 }
 
 func (e *Engine) scheduleAt(at time.Duration, fn func()) *Event {
-	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1}
+	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1, eng: e}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -108,20 +111,41 @@ func (e *Engine) Stop() { e.stopped = true }
 // clock would pass until. Events scheduled exactly at until still fire. It
 // returns ErrStopped if Stop was called, nil otherwise.
 func (e *Engine) Run(until time.Duration) error {
+	return e.dispatch(until, true, 0)
+}
+
+// RunAll dispatches events until the queue is empty, with a safety cap on
+// the number of events to guard against runaway self-scheduling loops.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	return e.dispatch(0, false, maxEvents)
+}
+
+// dispatch is the single event loop behind Run and RunAll. haveHorizon
+// limits the virtual clock to until (advancing it there on return);
+// maxEvents > 0 bounds the number of dispatched events. Both paths enforce
+// clock monotonicity: a popped event timestamped before the clock is a
+// scheduler bug and aborts the run.
+func (e *Engine) dispatch(until time.Duration, haveHorizon bool, maxEvents uint64) error {
 	e.stopped = false
+	start := e.processed
 	for e.queue.Len() > 0 {
 		if e.stopped {
 			return ErrStopped
 		}
 		next := e.queue[0]
-		if next.at > until {
+		if haveHorizon && next.at > until {
 			// Advance the clock to the horizon so repeated Run calls
 			// observe monotonic time.
 			e.now = until
 			return nil
 		}
+		if maxEvents > 0 && e.processed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events", maxEvents)
+		}
 		heap.Pop(&e.queue)
 		if next.dead {
+			// Defensive: Cancel removes events eagerly, so dead events
+			// should never surface here.
 			continue
 		}
 		if next.at < e.now {
@@ -132,36 +156,14 @@ func (e *Engine) Run(until time.Duration) error {
 		e.processed++
 		next.fn()
 	}
-	if e.now < until {
+	if haveHorizon && e.now < until {
 		e.now = until
 	}
 	return nil
 }
 
-// RunAll dispatches events until the queue is empty, with a safety cap on
-// the number of events to guard against runaway self-scheduling loops.
-func (e *Engine) RunAll(maxEvents uint64) error {
-	start := e.processed
-	for e.queue.Len() > 0 {
-		if e.stopped {
-			return ErrStopped
-		}
-		if e.processed-start >= maxEvents {
-			return fmt.Errorf("sim: exceeded %d events", maxEvents)
-		}
-		next := heap.Pop(&e.queue).(*Event)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		next.idx = -1
-		e.processed++
-		next.fn()
-	}
-	return nil
-}
-
-// QueueLen returns the number of queued (possibly cancelled) events.
+// QueueLen returns the number of queued events. Cancelled events leave the
+// queue immediately, so every queued event is live.
 func (e *Engine) QueueLen() int { return e.queue.Len() }
 
 // eventQueue implements heap.Interface ordered by (time, seq).

@@ -358,3 +358,103 @@ func TestEventAccessors(t *testing.T) {
 		t.Fatal("nil event cancel returned true")
 	}
 }
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	eng := NewEngine()
+	events := make([]*Event, 100)
+	for i := range events {
+		events[i] = eng.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	if eng.QueueLen() != 100 {
+		t.Fatalf("queue = %d, want 100", eng.QueueLen())
+	}
+	// Cancel from the middle and the ends; each must leave the heap
+	// immediately rather than lingering as a dead entry.
+	for _, i := range []int{0, 50, 99, 25, 75} {
+		if !events[i].Cancel() {
+			t.Fatalf("Cancel(%d) returned false", i)
+		}
+	}
+	if eng.QueueLen() != 95 {
+		t.Fatalf("queue after 5 cancels = %d, want 95", eng.QueueLen())
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if eng.QueueLen() != 0 {
+		t.Fatalf("queue after Run = %d", eng.QueueLen())
+	}
+	if eng.Processed() != 95 {
+		t.Fatalf("processed = %d, want the 95 live events", eng.Processed())
+	}
+}
+
+func TestCancelledEventNeverFires(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, eng.Schedule(time.Millisecond, func() { count++ }))
+	}
+	// Cancel every other event at the same timestamp: FIFO order of the
+	// survivors must hold and none of the cancelled ones may fire.
+	for i := 0; i < 10; i += 2 {
+		evs[i].Cancel()
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count != 5 {
+		t.Fatalf("fired %d, want 5", count)
+	}
+}
+
+func TestDispatchKeepsClockMonotonic(t *testing.T) {
+	// ScheduleAt clamps past times to Now, so neither dispatch path can
+	// observe time running backwards; the event fires at the clamped time.
+	eng := NewEngine()
+	eng.Schedule(time.Millisecond, func() {})
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var at time.Duration
+	eng.ScheduleAt(time.Millisecond, func() { at = eng.Now() })
+	if err := eng.RunAll(0); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if at != time.Second {
+		t.Fatalf("past-scheduled event fired at %v, want the clamped 1s", at)
+	}
+	eng2 := NewEngine()
+	eng2.Schedule(time.Millisecond, func() {})
+	if err := eng2.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	at = 0
+	eng2.ScheduleAt(time.Millisecond, func() { at = eng2.Now() })
+	if err := eng2.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if at != time.Second {
+		t.Fatalf("past-scheduled event fired at %v, want the clamped 1s", at)
+	}
+}
+
+func TestRunThenRunAllSharedDispatch(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(time.Millisecond, func() { order = append(order, 1) })
+	eng.Schedule(time.Hour, func() { order = append(order, 2) })
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := eng.RunAll(0); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if eng.Now() != time.Hour {
+		t.Fatalf("Now = %v, want 1h", eng.Now())
+	}
+}
