@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz bench check
+.PHONY: all build vet fmt-check test test-fault race fuzz bench check
 
 all: check
 
@@ -18,11 +18,21 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# The fault-injection subsystem end to end: the plan/injector/oracle unit
+# tests, the scripted recovery-path suite, and the fault-plan replication
+# and churn-matrix integration tests.
+test-fault:
+	$(GO) test ./internal/fault/...
+	$(GO) test -run 'TestRecoveryPaths' ./internal/core/
+	$(GO) test -run 'TestFault|TestReboot|TestKillNode|TestLongChurn' ./internal/experiment/
+
 race:
+	$(GO) test -race ./internal/fault/... ./internal/experiment/...
 	$(GO) test -race ./...
 
-# Brief fuzz pass over each wire-codec target (the committed corpus under
-# internal/core/testdata/fuzz always runs as part of plain `go test`).
+# Brief fuzz pass over each wire-codec target plus the fault-plan parser
+# (the committed corpora under */testdata/fuzz always run as part of
+# plain `go test`).
 FUZZTIME ?= 5s
 fuzz:
 	@for t in FuzzDecodeCode FuzzUnmarshalExt FuzzUnmarshalControl \
@@ -30,6 +40,7 @@ fuzz:
 		FuzzControlEncode FuzzExtEncode; do \
 		$(GO) test ./internal/core/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
+	$(GO) test ./internal/fault/ -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"teleadjust/internal/experiment"
+	"teleadjust/internal/fault"
 	"teleadjust/internal/radio"
 )
 
@@ -43,6 +44,7 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
 		trace    = flag.Int("trace", 0, "dump the last N medium events (tx/rx) after the run")
 		svgPath  = flag.String("svg", "", "write the converged topology/tree/codes as SVG to this file")
+		planPath = flag.String("faultplan", "", "JSON fault plan scheduled on every replication (see EXPERIMENTS.md)")
 	)
 	flag.Parse()
 
@@ -54,10 +56,19 @@ func run() error {
 		// with concurrent replications there is no single network to tap.
 		return fmt.Errorf("-trace and -svg require -reps 1")
 	}
+	var plan *fault.Plan
+	if *planPath != "" {
+		p, err := fault.LoadPlan(*planPath)
+		if err != nil {
+			return err
+		}
+		plan = p
+	}
 	scn, err := pickScenario(*scenario, *seed)
 	if err != nil {
 		return err
 	}
+	scn.Fault = plan
 	var ring *radio.TraceRing
 	var builtNet *experiment.Net
 	prevHook := scn.OnNetBuilt
@@ -105,6 +116,7 @@ func run() error {
 	}
 	build := func(s uint64) experiment.Scenario {
 		b, _ := pickScenario(*scenario, s)
+		b.Fault = plan
 		return b
 	}
 	rep := experiment.Replicator{Workers: *parallel}

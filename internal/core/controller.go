@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"teleadjust/internal/radio"
 )
@@ -231,11 +233,18 @@ func (e *Engine) pickRescueRelay(dst radio.NodeID, dstCode PathCode) radio.NodeI
 	bestDivergence := -1
 	bestQuality := 0.0
 	for _, k := range e.oracle.NeighborsOf(dst) {
-		if k == dst || k == e.node.ID() {
+		if k == dst || k == e.node.ID() || e.unreachable[k] {
 			continue
 		}
 		info, ok := e.registry[k]
 		if !ok {
+			continue
+		}
+		// A candidate whose code prefixes the destination's sits ON the
+		// failed primary path — often the suspected-dead hop itself, which
+		// the bare divergence metric would otherwise rank highest (a prefix
+		// shares the least suffix). The detour must leave that path.
+		if info.Code.IsPrefixOf(dstCode) {
 			continue
 		}
 		q := e.oracle.LinkQuality(k, dst)
@@ -255,3 +264,24 @@ func (e *Engine) pickRescueRelay(dst radio.NodeID, dstCode PathCode) radio.NodeI
 
 // PendingCount returns the number of in-flight control operations.
 func (e *Engine) PendingCount() int { return len(e.pending) }
+
+// PendingOp is a read-only snapshot of one in-flight control operation,
+// exposed for invariant checkers (liveness: every pending op must resolve
+// within a bounded multiple of the control timeout).
+type PendingOp struct {
+	UID     uint32
+	Op      uint32
+	Dst     radio.NodeID
+	SentAt  time.Duration
+	Rescued bool
+}
+
+// PendingOps returns the in-flight control operations sorted by UID.
+func (e *Engine) PendingOps() []PendingOp {
+	ops := make([]PendingOp, 0, len(e.pending))
+	for uid, p := range e.pending {
+		ops = append(ops, PendingOp{UID: uid, Op: p.op, Dst: p.dst, SentAt: p.sentAt, Rescued: p.rescued})
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].UID < ops[j].UID })
+	return ops
+}

@@ -376,7 +376,11 @@ func (e *Engine) classifyFeedback(f *radio.Frame, fb *Feedback) mac.Classificati
 // addressee, or at an on-path interceptor that won the overhearing
 // election (Figure 5a).
 func (e *Engine) deliverFeedback(f *radio.Frame, fb *Feedback) {
-	e.unreachable[fb.FailedRelay] = true
+	// The failed relay is excluded for this operation only (below): its
+	// feedback frame proves the node itself is reachable — it just could
+	// not progress this packet. A global unreachable mark here would
+	// blacklist a live first hop for unrelated operations, including the
+	// Re-Tele rescue attempt that follows a backtracked failure.
 	st, ok := e.ctrl[fb.UID]
 	if !ok {
 		st = &ctrlState{

@@ -1,0 +1,352 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/experiment"
+	"teleadjust/internal/fault"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/topology"
+)
+
+// attachOracle wires the protocol invariant oracle onto the network's
+// radio trace. Attached after convergence so the oracle only judges the
+// control exchange under test.
+func attachOracle(net *experiment.Net, teleCfg core.Config, rescue bool) *fault.Oracle {
+	orc := fault.NewOracle(fault.OracleConfig{
+		NumNodes:       net.Dep.Len(),
+		Sink:           net.Sink,
+		RetryRounds:    teleCfg.RetryRounds,
+		Backtracks:     teleCfg.Backtracks,
+		ControlTimeout: teleCfg.ControlTimeout,
+		RescueEnabled:  rescue,
+	})
+	orc.TeleAt = net.Tele
+	orc.Alive = net.Alive
+	orc.Now = net.Eng.Now
+	net.Medium.SetTraceFn(orc.ObserveTrace)
+	return orc
+}
+
+// codeParent returns the node whose path code is the strict prefix
+// recorded as dst's parent code — the upstream hop of the *coded* path,
+// which can differ from the current CTP parent after tree churn.
+func codeParent(net *experiment.Net, dst radio.NodeID) (radio.NodeID, bool) {
+	pcode, ok := net.Tele(dst).ParentCode()
+	if !ok {
+		return 0, false
+	}
+	for i := 0; i < net.Dep.Len(); i++ {
+		id := radio.NodeID(i)
+		if id == dst {
+			continue
+		}
+		if c, have := net.Tele(id).Code(); have && c.Equal(pcode) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// recoveryOutcome is what one scripted-fault control exchange produced.
+type recoveryOutcome struct {
+	net       *experiment.Net
+	orc       *fault.Oracle
+	uid       uint32 // first op's wire UID
+	uids      []uint32
+	res       core.Result // first resolved op
+	results   []core.Result
+	resolved  bool // every sent op resolved
+	delivered bool
+	parent    radio.NodeID // dst's tree parent before the fault
+	grand     radio.NodeID // parent's tree parent before the fault
+}
+
+// TestRecoveryPaths drives each of the paper's §III-C recovery mechanisms
+// through a scripted FaultPlan and checks the outcome plus the protocol
+// invariant oracle:
+//
+//   - backtracking: the relay below a crashed hop exhausts its retries and
+//     feeds back toward the controller (Fig 5a); with interception and
+//     rescue disabled on a line there is no way around, so the op must
+//     fail cleanly at the controller.
+//   - interception: a pure broadcast-loss window silences the anycast
+//     stream but lets unicast feedback through; a downstream node with
+//     code progress overhears it, adopts the packet, and completes the
+//     delivery (Fig 5a's shortcut).
+//   - re-tele: with strict-path forwarding the crash of the coded path's
+//     last hop is unrecoverable in-band; the controller must re-Tele the
+//     op through a detour relay off the coded path (Fig 5b).
+//   - exhaustion: a partitioned destination bounds every relay's
+//     transmissions (retry × backtrack budget) and the op fails without
+//     livelock.
+func TestRecoveryPaths(t *testing.T) {
+	cases := []struct {
+		name     string
+		dep      func() *topology.Deployment
+		seed     uint64
+		dst      radio.NodeID
+		converge time.Duration
+		mutate   func(*experiment.Config)
+		rescue   bool // oracle: rescue traffic legal
+		// plan builds the fault script given pre-fault tree positions;
+		// times are relative offsets from injection.
+		plan func(o *recoveryOutcome) *fault.Plan
+		// ops > 1 repeats the control send, opGap apart, so a case stays
+		// meaningful when one op dies early to ambient collisions.
+		ops    int
+		opGap  time.Duration
+		settle time.Duration // after the last send
+		assert func(t *testing.T, o *recoveryOutcome)
+	}{
+		{
+			name:     "backtracking-bounded-failure",
+			dep:      func() *topology.Deployment { return topology.Line(6, 7) },
+			seed:     44,
+			dst:      5,
+			converge: 3 * time.Minute,
+			mutate: func(cfg *experiment.Config) {
+				cfg.Tele.Rescue = false
+				cfg.Tele.FeedbackIntercept = false
+			},
+			plan: func(o *recoveryOutcome) *fault.Plan {
+				return &fault.Plan{Name: "crash-last-hop", Events: []fault.Event{
+					{At: fault.Duration(time.Second), Kind: fault.Crash, Node: int(o.parent)},
+					// The grandparent must not shortcut two hops to the
+					// destination, or the failure never manifests.
+					{At: fault.Duration(time.Second), Kind: fault.Link,
+						From: int(o.grand), To: int(o.dstID()), OffsetDB: -200, Both: true},
+				}}
+			},
+			settle: 50 * time.Second,
+			assert: func(t *testing.T, o *recoveryOutcome) {
+				if !o.resolved {
+					t.Fatal("controller never resolved the op")
+				}
+				if o.res.OK || o.delivered {
+					t.Fatalf("op delivered through a crashed sole upstream hop (res=%+v)", o.res)
+				}
+				gs := o.net.Tele(o.grand).Stats()
+				if gs.FeedbackSends == 0 {
+					t.Errorf("failing relay %d sent no feedback (stats %+v)", o.grand, gs)
+				}
+				if gs.Backtracks == 0 {
+					t.Errorf("failing relay %d recorded no backtrack (stats %+v)", o.grand, gs)
+				}
+				if d := o.net.Tele(o.dstID()).Stats().ControlDeliv; d != 0 {
+					t.Errorf("destination consumed %d control packets through a dead path", d)
+				}
+			},
+		},
+		{
+			name:     "feedback-interception",
+			dep:      func() *topology.Deployment { return topology.Line(6, 7) },
+			seed:     45,
+			dst:      5,
+			converge: 3 * time.Minute,
+			mutate: func(cfg *experiment.Config) {
+				cfg.Tele.Rescue = false // interception must carry this alone
+			},
+			plan: func(o *recoveryOutcome) *fault.Plan {
+				return &fault.Plan{Name: "bcast-loss-window", Events: []fault.Event{
+					// The anycast stream grand→parent is silenced, but
+					// unicast (acks, feedback) still passes — the exact
+					// asymmetry feedback interception exploits.
+					{At: fault.Duration(time.Second), Kind: fault.Drop,
+						From: int(o.grand), To: int(o.parent), Prob: 1,
+						Dst: fault.DstBcast, For: fault.Duration(30 * time.Second)},
+					{At: fault.Duration(time.Second), Kind: fault.Link,
+						From: int(o.grand), To: int(o.dstID()), OffsetDB: -200, Both: true,
+						For: fault.Duration(30 * time.Second)},
+				}}
+			},
+			settle: 50 * time.Second,
+			assert: func(t *testing.T, o *recoveryOutcome) {
+				if !o.resolved || !o.res.OK || !o.delivered {
+					t.Fatalf("op not delivered despite an interceptable feedback (res=%+v resolved=%v delivered=%v, parent stats %+v)",
+						o.res, o.resolved, o.delivered, o.net.Tele(o.parent).Stats())
+				}
+				ps := o.net.Tele(o.parent).Stats()
+				if ps.Backtracks == 0 {
+					t.Errorf("interceptor %d recorded no backtrack adoption (stats %+v)", o.parent, ps)
+				}
+				if ps.ControlRelayed == 0 {
+					t.Errorf("interceptor %d relayed nothing (stats %+v)", o.parent, ps)
+				}
+				if d := o.net.Tele(o.dstID()).Stats().ControlDeliv; d != 1 {
+					t.Errorf("destination consumed %d control packets, want 1", d)
+				}
+			},
+		},
+		{
+			name:     "retele-detour",
+			dep:      ladder,
+			seed:     42,
+			dst:      7,
+			converge: 4 * time.Minute,
+			mutate: func(cfg *experiment.Config) {
+				// Strict-path forwarding with rescue: in-band recovery is
+				// impossible, so delivery can only happen via re-Tele.
+				cfg.Tele.Opportunistic = false
+				cfg.Tele.FeedbackIntercept = false
+				cfg.Tele.Rescue = true
+			},
+			rescue: true,
+			plan: func(o *recoveryOutcome) *fault.Plan {
+				// Crash the coded path's last hop (the node that allocated
+				// dst's code), not necessarily the current CTP parent.
+				victim := o.parent
+				if cp, ok := codeParent(o.net, o.dstID()); ok {
+					victim = cp
+				}
+				return &fault.Plan{Name: "crash-coded-hop", Events: []fault.Event{
+					{At: fault.Duration(time.Second), Kind: fault.Crash, Node: int(victim)},
+				}}
+			},
+			settle: 90 * time.Second,
+			assert: func(t *testing.T, o *recoveryOutcome) {
+				if !o.delivered {
+					t.Fatalf("re-Tele never delivered around the crashed coded hop (res=%+v resolved=%v, sink stats %+v)",
+						o.res, o.resolved, o.net.SinkTele().Stats())
+				}
+				if r := o.net.SinkTele().Stats().Rescues; r == 0 {
+					t.Errorf("controller recorded no rescue (sink stats %+v)", o.net.SinkTele().Stats())
+				}
+				if o.resolved && o.res.OK && !o.res.Detoured {
+					t.Errorf("delivery acknowledged without the detour flag (res=%+v)", o.res)
+				}
+				if d := o.net.Tele(o.dstID()).Stats().ControlDeliv; d == 0 {
+					t.Error("destination consumed no control packet")
+				}
+			},
+		},
+		{
+			name:     "retransmission-exhaustion",
+			dep:      func() *topology.Deployment { return topology.Line(6, 7) },
+			seed:     46,
+			dst:      5,
+			converge: 3 * time.Minute,
+			mutate: func(cfg *experiment.Config) {
+				cfg.Tele.Rescue = false
+			},
+			plan: func(o *recoveryOutcome) *fault.Plan {
+				return &fault.Plan{Name: "partition-dst", Events: []fault.Event{
+					{At: fault.Duration(time.Second), Kind: fault.Partition,
+						Node: int(o.dstID()), For: fault.Duration(2 * time.Minute)},
+				}}
+			},
+			// Three ops inside the partition window: any single op can be
+			// lost upstream to an ambient hidden-terminal collision with
+			// the background report traffic, but not all of them.
+			ops:    3,
+			opGap:  35 * time.Second,
+			settle: 50 * time.Second,
+			assert: func(t *testing.T, o *recoveryOutcome) {
+				if !o.resolved {
+					t.Fatalf("controller resolved only %d of %d ops", len(o.results), len(o.uids))
+				}
+				for _, r := range o.results {
+					if r.OK {
+						t.Fatalf("op delivered to a partitioned destination (res=%+v)", r)
+					}
+				}
+				if o.delivered {
+					t.Fatal("partitioned destination reported a delivery")
+				}
+				if !o.net.Alive(o.dstID()) {
+					t.Error("partition must not kill the destination")
+				}
+				if d := o.net.Tele(o.dstID()).Stats().ControlDeliv; d != 0 {
+					t.Errorf("partitioned destination consumed %d control packets", d)
+				}
+				// The relay facing the partition is bounded by the retry ×
+				// backtrack budget — the oracle's retx invariant, asserted
+				// here with the concrete count on the op that got furthest.
+				best := 0
+				for _, uid := range o.uids {
+					if s := o.orc.SendsFor(uid, o.parent); s > best {
+						best = s
+					}
+				}
+				if best < 2 || best > 15 {
+					t.Errorf("relay %d made %d distinct transmissions facing the partition, want 2..15", o.parent, best)
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var teleCfg core.Config
+			net := buildTele(t, tc.dep(), tc.seed, func(cfg *experiment.Config) {
+				if tc.mutate != nil {
+					tc.mutate(cfg)
+				}
+				teleCfg = cfg.Tele
+			})
+			run(t, net, tc.converge)
+			if !net.SinkTele().KnowsCode(tc.dst) {
+				t.Skipf("controller never learned node %d's code", tc.dst)
+			}
+			o := &recoveryOutcome{net: net}
+			o.parent = net.Stacks[tc.dst].Ctp.Parent()
+			if int(o.parent) >= net.Dep.Len() {
+				t.Skipf("node %d has no usable parent (%d)", tc.dst, o.parent)
+			}
+			o.grand = net.Stacks[o.parent].Ctp.Parent()
+			if int(o.grand) >= net.Dep.Len() {
+				t.Skipf("parent %d has no usable parent (%d)", o.parent, o.grand)
+			}
+			o.res.Dst = tc.dst
+
+			plan := tc.plan(o)
+			// Shift relative offsets to absolute times from "now".
+			now := net.Eng.Now()
+			for i := range plan.Events {
+				plan.Events[i].At += fault.Duration(now)
+			}
+			if err := net.InjectPlan(plan); err != nil {
+				t.Fatal(err)
+			}
+			run(t, net, 5*time.Second)
+
+			o.orc = attachOracle(net, teleCfg, tc.rescue)
+			net.Tele(tc.dst).SetDeliveredFn(func(uid uint32, hops uint8) { o.delivered = true })
+			sendOne := func() {
+				uid, err := net.SinkTele().SendControl(tc.dst, "recover", func(r core.Result) {
+					o.results = append(o.results, r)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				o.uids = append(o.uids, uid)
+			}
+			ops := tc.ops
+			if ops == 0 {
+				ops = 1
+			}
+			sendOne()
+			for i := 1; i < ops; i++ {
+				run(t, net, tc.opGap)
+				sendOne()
+			}
+			run(t, net, tc.settle)
+
+			o.uid = o.uids[0]
+			o.resolved = len(o.results) == ops
+			if len(o.results) > 0 {
+				o.res = o.results[0]
+			}
+			tc.assert(t, o)
+			if v := o.orc.Check(); len(v) != 0 {
+				t.Fatalf("oracle violations:\n%s", o.orc.Summary())
+			}
+		})
+	}
+}
+
+// dstID recovers the destination from the stored result (set before send).
+func (o *recoveryOutcome) dstID() radio.NodeID { return o.res.Dst }

@@ -273,6 +273,11 @@ func (e *Engine) Stop() {
 // Code returns the node's current path code (ok=false before assignment).
 func (e *Engine) Code() (PathCode, bool) { return e.myCode, e.haveCode }
 
+// ParentCode returns the coding parent's path code as last adopted by this
+// node (the prefix its own code extends). Recovery-state introspection for
+// invariant checkers: a node's code must strictly extend its parent code.
+func (e *Engine) ParentCode() (PathCode, bool) { return e.parentCode, e.haveParent }
+
 // Depth returns the node's depth in the code tree (the reverse-path hop
 // count of Fig. 6d).
 func (e *Engine) Depth() uint8 { return e.depth }

@@ -207,6 +207,66 @@ func TestKillNodeSilencesRadio(t *testing.T) {
 	if net.Medium.Radio(3).On() {
 		t.Fatal("killed node's radio still on")
 	}
+	if net.Alive(3) {
+		t.Fatal("Alive(3) still true after KillNode")
+	}
+	if !net.Stacks[3].Mac.Dead() {
+		t.Fatal("killed node's MAC not marked dead")
+	}
+	// Idempotent, and the sink is protected.
+	net.KillNode(3)
+	net.KillNode(net.Sink)
+	if !net.Alive(net.Sink) {
+		t.Fatal("KillNode reached the sink")
+	}
+}
+
+// TestRebootNodeReattaches kills the end-of-line node, reboots it with a
+// fresh (amnesiac) stack, and verifies it rejoins the tree and regains a
+// path code. A reboot of a live node must be a no-op.
+func TestRebootNodeReattaches(t *testing.T) {
+	scn := smallScenario(14)
+	net, err := Build(scn.config(ProtoTeleAdjust))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Start()
+	if err := net.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Tele(7).Code(); !ok {
+		t.Fatal("node 7 never converged; cannot test reboot")
+	}
+	net.KillNode(7)
+	if err := net.Run(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	net.RebootNode(7)
+	if !net.Alive(7) {
+		t.Fatal("RebootNode left the node dead")
+	}
+	// A rebooted mote loses all volatile state.
+	if net.Stacks[7].Ctp.HasRoute() {
+		t.Fatal("rebooted node retained a route")
+	}
+	if _, ok := net.Tele(7).Code(); ok {
+		t.Fatal("rebooted node retained a path code")
+	}
+	if err := net.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if h := net.CTPHops(7); h <= 0 {
+		t.Fatalf("rebooted node did not re-attach (hops %d)", h)
+	}
+	if _, ok := net.Tele(7).Code(); !ok {
+		t.Fatal("rebooted node did not regain a path code")
+	}
+	// Rebooting a live node must not rebuild its stack.
+	st := net.Stacks[7]
+	net.RebootNode(7)
+	if net.Stacks[7] != st {
+		t.Fatal("reboot of a live node rebuilt the stack")
+	}
 }
 
 func TestOracleBackedByMedium(t *testing.T) {

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/fault"
+)
+
+// matrixChurnPlan is the shared fault script of the cross-protocol churn
+// matrix: an end-of-line crash with a later reboot, a lossy broadcast
+// window mid-line, and a degraded (but not severed) link — all inside the
+// control phase of a smallScenario study (2-minute warmup). Times are
+// absolute simulation times.
+func matrixChurnPlan() *fault.Plan {
+	return &fault.Plan{
+		Name: "matrix-churn",
+		Events: []fault.Event{
+			{At: fault.Duration(130 * time.Second), Kind: fault.Crash, Node: 7},
+			{At: fault.Duration(140 * time.Second), Kind: fault.Drop, From: 2, To: 3, Prob: 0.3, Dst: fault.DstBcast, For: fault.Duration(40 * time.Second)},
+			{At: fault.Duration(150 * time.Second), Kind: fault.Link, From: 3, To: 4, OffsetDB: -6, Both: true, For: fault.Duration(40 * time.Second)},
+			{At: fault.Duration(190 * time.Second), Kind: fault.Reboot, Node: 7},
+		},
+	}
+}
+
+// TestFaultMatrixAcrossProtocols runs the same fault script against every
+// protocol of the paper's comparison and asserts the survival properties
+// that must hold regardless of protocol: the study completes, packets
+// flow, the rebooted node re-attaches, and the tree recovers. For the
+// TeleAdjusting variants the protocol invariant oracle rides along on the
+// radio trace and must stay clean through every fault epoch.
+func TestFaultMatrixAcrossProtocols(t *testing.T) {
+	opts := ControlOpts{
+		Warmup:   2 * time.Minute,
+		Packets:  6,
+		Interval: 16 * time.Second,
+		Drain:    40 * time.Second,
+	}
+	plan := matrixChurnPlan()
+	for _, proto := range []Proto{ProtoTele, ProtoReTele, ProtoDrip, ProtoRPL} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			scn := smallScenario(21)
+			scn.Fault = plan
+			var net *Net
+			var orc *fault.Oracle
+			tele := proto == ProtoTele || proto == ProtoReTele
+			scn.OnNetBuilt = func(n *Net) {
+				net = n
+				if !tele {
+					return
+				}
+				orc = fault.NewOracle(fault.OracleConfig{
+					NumNodes:       n.Dep.Len(),
+					Sink:           n.Sink,
+					RetryRounds:    scn.Tele.RetryRounds,
+					Backtracks:     scn.Tele.Backtracks,
+					ControlTimeout: scn.Tele.ControlTimeout,
+					RescueEnabled:  proto == ProtoReTele,
+				})
+				orc.TeleAt = n.Tele
+				orc.Alive = n.Alive
+				orc.Now = n.Eng.Now
+				n.Medium.SetTraceFn(orc.ObserveTrace)
+			}
+			res, err := RunControlStudy(scn, proto, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sent == 0 {
+				t.Fatal("nothing sent through the fault script")
+			}
+			// Every plan event fired, plus one closing edge per bounded
+			// window (the drop and link events above).
+			if inj := net.FaultInjector(); inj == nil {
+				t.Fatal("scenario plan did not install an injector")
+			} else if inj.Applied() != len(plan.Events)+2 {
+				t.Fatalf("injector applied %d fault edges, want %d", inj.Applied(), len(plan.Events)+2)
+			}
+			if !net.Alive(7) {
+				t.Fatal("node 7 still dead after the scripted reboot")
+			}
+			if h := net.CTPHops(7); h <= 0 {
+				t.Fatalf("rebooted node 7 not re-attached (hops %d)", h)
+			}
+			if c := net.TreeCoverage(); c < 0.85 {
+				t.Fatalf("tree coverage %.2f after the churn script", c)
+			}
+			if orc != nil {
+				if v := orc.Check(); len(v) != 0 {
+					t.Fatalf("oracle violations under %s:\n%s", proto, orc.Summary())
+				}
+				if _, ok := net.Tele(7).Code(); !ok {
+					t.Error("rebooted node 7 did not regain a path code")
+				}
+			}
+			t.Logf("%s: sent=%d delivered=%d skipped=%d coverage=%.2f",
+				proto, res.Sent, res.Delivered, res.Skipped, net.TreeCoverage())
+		})
+	}
+}

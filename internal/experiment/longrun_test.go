@@ -4,7 +4,9 @@ import (
 	"testing"
 	"time"
 
+	"teleadjust/internal/fault"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
 )
 
 // TestLongIndoorComparison runs the Fig-7/Table-III comparison on the
@@ -121,7 +123,9 @@ func TestLongSparseConvergence(t *testing.T) {
 // asserts the opportunistic protocol keeps delivering to the survivors
 // while RPL's stored routes degrade — the paper's "robustness against
 // network dynamics" claim taken further than the WiFi experiment.
-// Skipped under -short.
+// The churn is a scripted FaultPlan (one per seed, victims drawn from a
+// seed-derived stream) so both protocols face the identical failure
+// schedule. Skipped under -short.
 func TestLongChurnRobustness(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long reproduction test")
@@ -130,10 +134,26 @@ func TestLongChurnRobustness(t *testing.T) {
 	opts.Warmup = 7 * time.Minute
 	opts.Packets = 30
 	opts.Interval = 20 * time.Second
-	opts.KillNodes = 5
 	build := func(seed uint64) Scenario {
 		s := Indoor(seed, false)
 		s.TuneControlTimeouts(18 * time.Second)
+		// Five crashes at 100 s spacing through the control phase,
+		// victims picked without replacement from a per-seed stream.
+		rng := sim.DeriveRNG(seed, 0x1c11)
+		picked := map[int]bool{}
+		plan := &fault.Plan{Name: "indoor-churn"}
+		for k := 0; len(plan.Events) < 5 && k < 1000; k++ {
+			v := rng.IntN(s.Dep.Len())
+			if v == s.Dep.Sink || picked[v] {
+				continue
+			}
+			picked[v] = true
+			at := opts.Warmup + time.Duration(len(plan.Events)+1)*100*time.Second
+			plan.Events = append(plan.Events, fault.Event{
+				At: fault.Duration(at), Kind: fault.Crash, Node: v,
+			})
+		}
+		s.Fault = plan
 		return s
 	}
 	tele, err := RunControlStudySeeds(build, ProtoReTele, opts, []uint64{1, 2})

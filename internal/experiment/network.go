@@ -11,6 +11,7 @@ import (
 	"teleadjust/internal/core"
 	"teleadjust/internal/ctp"
 	"teleadjust/internal/drip"
+	"teleadjust/internal/fault"
 	"teleadjust/internal/mac"
 	"teleadjust/internal/node"
 	"teleadjust/internal/noise"
@@ -46,7 +47,11 @@ type Config struct {
 	// WifiPowerDBm != 0 installs a WiFi interferer at that power (the
 	// "channel 19" condition); 0 disables it.
 	WifiPowerDBm float64
-	Seed         uint64
+	// Fault, when non-nil, is a fault script scheduled on the engine at
+	// build time (crashes, reboots, link perturbations, drop windows).
+	// The plan is read-only and may be shared across replicated runs.
+	Fault *fault.Plan
+	Seed  uint64
 }
 
 // Stack is one node's protocol stack: the link layer, the dispatch
@@ -68,6 +73,14 @@ type Net struct {
 	Stacks []*Stack
 
 	cfg Config
+
+	alive   []bool
+	reboots []int
+	inj     *fault.Injector
+
+	dataTickers []*sim.Ticker
+	dataIPI     time.Duration
+	dataSeed    uint64
 }
 
 // Build assembles the network. Call Start before Run.
@@ -124,10 +137,22 @@ func Build(cfg Config) (*Net, error) {
 		}
 		net.Stacks[i] = st
 	}
+	net.alive = make([]bool, n)
+	for i := range net.alive {
+		net.alive[i] = true
+	}
+	net.reboots = make([]int, n)
+	net.dataTickers = make([]*sim.Ticker, n)
 	// The destination-unreachable countermeasure needs the controller's
 	// assumed global topology knowledge at the sink.
 	if te := net.SinkTele(); te != nil {
 		te.SetOracle(net.Oracle())
+	}
+	if cfg.Fault != nil {
+		net.inj = fault.NewInjector(eng, (*netTarget)(net), cfg.Seed)
+		if err := net.inj.Schedule(cfg.Fault); err != nil {
+			return nil, err
+		}
 	}
 	return net, nil
 }
@@ -152,31 +177,132 @@ type dataReading struct {
 
 // startDataTraffic begins periodic upward data packets from every live
 // non-sink node at the given inter-packet interval, with random phases.
+// Tickers are tracked per node so KillNode silences a dead node's
+// application traffic too.
 func (n *Net) startDataTraffic(ipi time.Duration, seed uint64) {
+	n.dataIPI, n.dataSeed = ipi, seed
 	rng := sim.DeriveRNG(seed, 0xda7a)
-	for i, st := range n.Stacks {
-		if radio.NodeID(i) == n.Sink {
+	for i := range n.Stacks {
+		id := radio.NodeID(i)
+		if id == n.Sink {
 			continue
 		}
-		c := st.Ctp
-		seq := 0
-		tk := sim.NewTicker(n.Eng, ipi, func() {
-			seq++
-			_ = c.SendToSink(&dataReading{Seq: seq})
-		})
-		tk.StartWithOffset(time.Duration(rng.Int64N(int64(ipi))))
+		// The phase is drawn for dead nodes too, so a fault plan never
+		// shifts the phases of the surviving nodes.
+		phase := time.Duration(rng.Int64N(int64(ipi)))
+		if !n.alive[i] {
+			continue
+		}
+		n.startNodeData(id, phase)
 	}
 }
 
-// KillNode models a node failure: every protocol stops and the radio goes
-// dark immediately.
+func (n *Net) startNodeData(id radio.NodeID, phase time.Duration) {
+	c := n.Stacks[id].Ctp
+	seq := 0
+	tk := sim.NewTicker(n.Eng, n.dataIPI, func() {
+		seq++
+		_ = c.SendToSink(&dataReading{Seq: seq})
+	})
+	tk.StartWithOffset(phase)
+	n.dataTickers[id] = tk
+}
+
+// KillNode models a node failure: every protocol stops, the node's
+// application traffic ceases, pending MAC events are cancelled eagerly,
+// and the radio goes dark immediately. Idempotent on a dead node. The
+// sink cannot be killed through this path (partition it instead).
 func (n *Net) KillNode(id radio.NodeID) {
+	if id == n.Sink || !n.alive[id] {
+		return
+	}
+	n.alive[id] = false
+	if tk := n.dataTickers[id]; tk != nil {
+		tk.Stop()
+		n.dataTickers[id] = nil
+	}
 	st := n.Stacks[id]
 	st.Ctp.Stop()
 	if st.Ctrl != nil {
 		st.Ctrl.Stop()
 	}
 	st.Mac.Kill()
+}
+
+// RebootNode resurrects a crashed node with a completely fresh protocol
+// stack (a rebooted mote loses all volatile state: routes, codes, MAC
+// phase). The fresh stack reuses the node's original seed streams, which
+// keeps replicated runs deterministic. No-op on a live node.
+func (n *Net) RebootNode(id radio.NodeID) {
+	if n.alive[id] {
+		return
+	}
+	i := int(id)
+	n.reboots[i]++
+	mcfg := n.cfg.Mac
+	mcfg.AlwaysOn = n.cfg.Mac.AlwaysOn || id == n.Sink
+	st := &Stack{}
+	st.Mac = mac.New(n.Eng, n.Medium.Radio(id), mcfg, sim.DeriveRNG(n.cfg.Seed, 0x1000+uint64(i)), nil)
+	st.Node = node.New(n.Eng, st.Mac)
+	st.Ctp = ctp.New(st.Node, n.cfg.Ctp, sim.DeriveRNG(n.cfg.Seed, 0x2000+uint64(i)), id == n.Sink)
+	if build, err := builderFor(n.cfg.Protocol); err == nil && build != nil {
+		st.Ctrl = build(&n.cfg, st.Node, st.Ctp, i)
+	}
+	n.Stacks[i] = st
+	n.alive[i] = true
+	st.Mac.Start()
+	st.Ctp.Start()
+	if st.Ctrl != nil {
+		st.Ctrl.Start()
+	}
+	if id == n.Sink {
+		if te := n.SinkTele(); te != nil {
+			te.SetOracle(n.Oracle())
+		}
+	}
+	if n.dataIPI > 0 {
+		// Fresh deterministic phase: derived from the node id and its
+		// reboot count so repeated reboots do not replay each other.
+		rng := sim.DeriveRNG(n.dataSeed, 0xda7a0+uint64(i)<<8+uint64(n.reboots[i]))
+		n.startNodeData(id, time.Duration(rng.Int64N(int64(n.dataIPI))))
+	}
+}
+
+// Alive reports whether the node has not been killed (or has been
+// rebooted since).
+func (n *Net) Alive(id radio.NodeID) bool { return n.alive[id] }
+
+// FaultInjector returns the injector executing Config.Fault, or nil when
+// the network was built without a plan.
+func (n *Net) FaultInjector() *fault.Injector { return n.inj }
+
+// InjectPlan schedules an additional fault plan against the running
+// network. Plans whose state is only known mid-run (e.g. "crash the
+// destination's current parent") cannot be written at build time; tests
+// converge first, inspect the tree, and inject the plan they need. Event
+// times are absolute simulation times; times already in the past fire
+// immediately. Creates the injector lazily when the network was built
+// without Config.Fault.
+func (n *Net) InjectPlan(p *fault.Plan) error {
+	if n.inj == nil {
+		n.inj = fault.NewInjector(n.Eng, (*netTarget)(n), n.cfg.Seed)
+	}
+	return n.inj.Schedule(p)
+}
+
+// netTarget adapts Net to the fault injector's Target interface.
+type netTarget Net
+
+var _ fault.Target = (*netTarget)(nil)
+
+func (t *netTarget) NumNodes() int          { return len(t.Stacks) }
+func (t *netTarget) Crash(id radio.NodeID)  { (*Net)(t).KillNode(id) }
+func (t *netTarget) Reboot(id radio.NodeID) { (*Net)(t).RebootNode(id) }
+func (t *netTarget) AddLinkOffsetDB(from, to radio.NodeID, dB float64) {
+	t.Medium.AddLinkOffsetDB(from, to, dB)
+}
+func (t *netTarget) SetDropFn(fn func(rx radio.NodeID, f *radio.Frame) bool) {
+	t.Medium.SetDropFn(fn)
 }
 
 // Ctrl returns the node's control-protocol instance (nil for

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"teleadjust/internal/fault"
 )
 
 // replicateOpts is a fast control study for replication tests.
@@ -63,6 +65,47 @@ func TestParallelCodingReplication(t *testing.T) {
 	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
 		t.Fatalf("parallel coding merge diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 			sb.String(), pb.String())
+	}
+}
+
+// TestFaultPlanReplicationByteIdentical extends the determinism contract
+// to fault-scripted runs: a scenario carrying a FaultPlan (crash, lossy
+// window, reboot — all of which consume injector RNG and mutate node
+// lifecycles) must still merge byte-identically on a parallel pool. The
+// plan value is shared across all replications on purpose: the injector
+// must treat it as read-only.
+func TestFaultPlanReplicationByteIdentical(t *testing.T) {
+	plan := &fault.Plan{Name: "replicate-churn", Events: []fault.Event{
+		{At: fault.Duration(100 * time.Second), Kind: fault.Crash, Node: 6},
+		{At: fault.Duration(105 * time.Second), Kind: fault.Drop, From: fault.Any, To: fault.Any, Prob: 0.2, For: fault.Duration(30 * time.Second)},
+		{At: fault.Duration(140 * time.Second), Kind: fault.Reboot, Node: 6},
+	}}
+	build := func(seed uint64) Scenario {
+		s := smallScenario(seed)
+		s.Fault = plan
+		return s
+	}
+	seeds := DeriveSeeds(13, 4)
+	opts := replicateOpts()
+	opts.DataIPI = 20 * time.Second // exercise the ticker bookkeeping across crash/reboot
+
+	serial, err := Replicator{Workers: 1}.ControlStudy(build, ProtoReTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Replicator{Workers: 4}.ControlStudy(build, ProtoReTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb, pb bytes.Buffer
+	WriteControlReport(&sb, serial)
+	WriteControlReport(&pb, parallel)
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("fault-scripted parallel merge diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			sb.String(), pb.String())
+	}
+	if serial.Sent == 0 {
+		t.Fatal("nothing sent through the fault plan")
 	}
 }
 

@@ -241,7 +241,6 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	ackOK := 0
 	destRNG := sim.DeriveRNG(scn.Seed, 0xd057)
 	killRNG := sim.DeriveRNG(scn.Seed, 0x1c11)
-	dead := make(map[radio.NodeID]bool)
 	killEvery := 0
 	if opts.KillNodes > 0 {
 		killEvery = opts.Packets / (opts.KillNodes + 1)
@@ -253,24 +252,35 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	ctrl := net.SinkCtrl()
 	for p := 0; p < opts.Packets; p++ {
 		if killEvery > 0 && killed < opts.KillNodes && p > 0 && p%killEvery == 0 {
-			// Fail a random live non-sink node.
+			// Fail a random live non-sink node. Liveness is tracked by the
+			// network itself, so scripted fault-plan crashes and reboots
+			// compose with the runner's own churn.
 			for tries := 0; tries < 100; tries++ {
 				v := radio.NodeID(killRNG.IntN(net.Dep.Len()))
-				if v != net.Sink && !dead[v] {
-					dead[v] = true
+				if v != net.Sink && net.Alive(v) {
 					killed++
 					net.KillNode(v)
 					break
 				}
 			}
 		}
-		// Pick a random live destination (uniform over non-sink nodes).
-		var dst radio.NodeID
-		for {
-			dst = radio.NodeID(destRNG.IntN(net.Dep.Len()))
-			if dst != net.Sink && !dead[dst] {
+		// Pick a random live destination (uniform over non-sink nodes). The
+		// attempt bound guards against a fault plan that kills every
+		// non-sink node; packets without a live destination are skipped.
+		dst := radio.BroadcastID
+		for tries := 0; tries < 50*net.Dep.Len(); tries++ {
+			v := radio.NodeID(destRNG.IntN(net.Dep.Len()))
+			if v != net.Sink && net.Alive(v) {
+				dst = v
 				break
 			}
+		}
+		if dst == radio.BroadcastID {
+			res.Skipped++
+			if err := net.Run(opts.Interval); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		hops := net.CTPHops(dst)
 		uid, err := ctrl.SendControl(dst, "adjust", func(r protocol.Result) {

@@ -6,6 +6,7 @@ import (
 	"teleadjust/internal/core"
 	"teleadjust/internal/ctp"
 	"teleadjust/internal/drip"
+	"teleadjust/internal/fault"
 	"teleadjust/internal/mac"
 	"teleadjust/internal/noise"
 	"teleadjust/internal/radio"
@@ -27,7 +28,10 @@ type Scenario struct {
 	NoiseSeed    uint64
 	NoiseProfile *noise.TraceProfile // nil = meyer-heavy
 	WifiPowerDBm float64
-	Seed         uint64
+	// Fault is an optional fault script applied to every network built
+	// from this scenario (shared read-only across replicated runs).
+	Fault *fault.Plan
+	Seed  uint64
 	// OnNetBuilt, when set, is invoked with the assembled network before
 	// Start — the hook point for medium traces and custom instrumentation.
 	OnNetBuilt func(*Net)
@@ -140,6 +144,7 @@ func (s Scenario) config(p Proto) Config {
 		NoiseTraceSeed: s.NoiseSeed,
 		NoiseProfile:   s.NoiseProfile,
 		WifiPowerDBm:   s.WifiPowerDBm,
+		Fault:          s.Fault,
 		Seed:           s.Seed,
 	}
 }

@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParsePlan exercises the plan parser: it must never panic, and any
+// plan it accepts must survive a marshal/reparse round trip unchanged.
+func FuzzParsePlan(f *testing.F) {
+	f.Add([]byte(`{"name":"churn","events":[{"at":"90s","kind":"crash","node":5}]}`))
+	f.Add([]byte(`{"events":[{"at":1000,"kind":"drop","from":-1,"to":2,"prob":0.5,"dst":"bcast","for":"1m"}]}`))
+	f.Add([]byte(`{"events":[{"at":"1s","kind":"link","from":1,"to":2,"offset_db":-200,"both":true}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePlan(data)
+		if err != nil {
+			return
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted plan failed to marshal: %v", err)
+		}
+		q, err := ParsePlan(out)
+		if err != nil {
+			t.Fatalf("marshalled plan failed to reparse: %v\n%s", err, out)
+		}
+		if len(q.Events) != len(p.Events) {
+			t.Fatalf("round trip changed event count: %d != %d", len(q.Events), len(p.Events))
+		}
+		for i := range p.Events {
+			if p.Events[i] != q.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v != %+v", i, p.Events[i], q.Events[i])
+			}
+		}
+	})
+}

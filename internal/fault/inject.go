@@ -1,0 +1,193 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+)
+
+// SeverDB is the link offset used to sever links (partition events, and
+// the conventional "cut this link" value for link events). −200 dB puts
+// any realistic link far below sensitivity.
+const SeverDB = -200.0
+
+// Target is the network surface the injector manipulates. It is
+// implemented by experiment.Net (via an adapter) and by test doubles;
+// keeping it an interface here avoids an import cycle with the
+// experiment package.
+type Target interface {
+	NumNodes() int
+	// Crash kills a node (idempotent on an already-dead node).
+	Crash(id radio.NodeID)
+	// Reboot resurrects a crashed node with a fresh stack (no-op on a
+	// live node).
+	Reboot(id radio.NodeID)
+	// AddLinkOffsetDB perturbs the directed link gain additively.
+	AddLinkOffsetDB(from, to radio.NodeID, dB float64)
+	// SetDropFn installs the receive-side drop filter (nil removes it).
+	SetDropFn(fn func(rx radio.NodeID, f *radio.Frame) bool)
+}
+
+// dropRule is one active (or scheduled) drop window.
+type dropRule struct {
+	from, to int // Any (−1) = wildcard
+	prob     float64
+	dst      string
+	active   bool
+}
+
+func (r *dropRule) matches(rx radio.NodeID, f *radio.Frame) bool {
+	if !r.active {
+		return false
+	}
+	if r.from != Any && radio.NodeID(r.from) != f.Src {
+		return false
+	}
+	if r.to != Any && radio.NodeID(r.to) != rx {
+		return false
+	}
+	switch r.dst {
+	case DstBcast:
+		return f.Dst == radio.BroadcastID
+	case DstUcast:
+		return f.Dst != radio.BroadcastID
+	default:
+		return true
+	}
+}
+
+// Injector executes fault plans against a Target through a simulation
+// engine. All randomness (drop draws) comes from a dedicated seeded
+// stream, consumed only while at least one drop window matches, so
+// fault-free portions of a run keep their exact event sequence and
+// replicated runs stay byte-identical.
+type Injector struct {
+	eng *sim.Engine
+	tgt Target
+	rng *rand.Rand
+
+	drops     []*dropRule
+	installed bool
+	applied   int
+	epochFn   func(ev Event, end bool)
+}
+
+// NewInjector binds an injector to an engine and target. The drop stream
+// is derived from seed on a fault-private stream id.
+func NewInjector(eng *sim.Engine, tgt Target, seed uint64) *Injector {
+	return &Injector{eng: eng, tgt: tgt, rng: sim.DeriveRNG(seed, 0xfa177)}
+}
+
+// OnEpoch registers a hook called after each fault edge is applied: once
+// when an event takes effect (end=false) and once when a bounded window
+// closes (end=true). Tests hang invariant checks here.
+func (in *Injector) OnEpoch(fn func(ev Event, end bool)) { in.epochFn = fn }
+
+// Applied returns the number of fault edges applied so far.
+func (in *Injector) Applied() int { return in.applied }
+
+// Schedule validates the plan against the target and enqueues every
+// event on the engine. It may be called before or during a run; events
+// whose time has already passed apply at the current instant. The plan
+// is treated as read-only (it may be shared across replicated runs).
+func (in *Injector) Schedule(p *Plan) error {
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(in.tgt.NumNodes()); err != nil {
+		return err
+	}
+	for i := range p.Events {
+		ev := p.Events[i] // copy: the plan itself stays untouched
+		if ev.Kind == Drop && !in.installed {
+			in.installed = true
+			in.tgt.SetDropFn(in.dropFrame)
+		}
+		in.eng.ScheduleAt(ev.At.D(), func() { in.apply(ev) })
+	}
+	return nil
+}
+
+func (in *Injector) apply(ev Event) {
+	switch ev.Kind {
+	case Crash:
+		in.tgt.Crash(radio.NodeID(ev.Node))
+	case Reboot:
+		in.tgt.Reboot(radio.NodeID(ev.Node))
+	case Link:
+		in.tgt.AddLinkOffsetDB(radio.NodeID(ev.From), radio.NodeID(ev.To), ev.OffsetDB)
+		if ev.Both {
+			in.tgt.AddLinkOffsetDB(radio.NodeID(ev.To), radio.NodeID(ev.From), ev.OffsetDB)
+		}
+		if ev.For > 0 {
+			in.eng.Schedule(ev.For.D(), func() {
+				in.tgt.AddLinkOffsetDB(radio.NodeID(ev.From), radio.NodeID(ev.To), -ev.OffsetDB)
+				if ev.Both {
+					in.tgt.AddLinkOffsetDB(radio.NodeID(ev.To), radio.NodeID(ev.From), -ev.OffsetDB)
+				}
+				in.edge(ev, true)
+			})
+		}
+	case Partition:
+		in.partition(ev.Node, SeverDB)
+		if ev.For > 0 {
+			in.eng.Schedule(ev.For.D(), func() {
+				in.partition(ev.Node, -SeverDB)
+				in.edge(ev, true)
+			})
+		}
+	case Drop:
+		r := &dropRule{from: ev.From, to: ev.To, prob: ev.Prob, dst: ev.Dst, active: true}
+		in.drops = append(in.drops, r)
+		if ev.For > 0 {
+			in.eng.Schedule(ev.For.D(), func() {
+				r.active = false
+				in.edge(ev, true)
+			})
+		}
+	default:
+		panic(fmt.Sprintf("fault: unvalidated event kind %q", ev.Kind))
+	}
+	in.edge(ev, false)
+}
+
+// partition severs (or restores, with a positive offset) every directed
+// link touching node.
+func (in *Injector) partition(node int, dB float64) {
+	id := radio.NodeID(node)
+	for j := 0; j < in.tgt.NumNodes(); j++ {
+		if j == node {
+			continue
+		}
+		in.tgt.AddLinkOffsetDB(id, radio.NodeID(j), dB)
+		in.tgt.AddLinkOffsetDB(radio.NodeID(j), id, dB)
+	}
+}
+
+func (in *Injector) edge(ev Event, end bool) {
+	in.applied++
+	if in.epochFn != nil {
+		in.epochFn(ev, end)
+	}
+}
+
+// dropFrame is the receive-side filter installed on the target. With k
+// matching active windows of probabilities p1..pk the frame survives
+// with probability Π(1−pi); exactly one RNG draw is consumed per frame
+// that matches at least one window.
+func (in *Injector) dropFrame(rx radio.NodeID, f *radio.Frame) bool {
+	keep := 1.0
+	matched := false
+	for _, r := range in.drops {
+		if r.matches(rx, f) {
+			matched = true
+			keep *= 1 - r.prob
+		}
+	}
+	if !matched {
+		return false
+	}
+	return in.rng.Float64() >= keep
+}

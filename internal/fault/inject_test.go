@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+)
+
+// mockTarget records injector actions against a virtual n-node network.
+type mockTarget struct {
+	n       int
+	alive   []bool
+	offsets map[[2]int]float64
+	dropFn  func(rx radio.NodeID, f *radio.Frame) bool
+	log     []string
+}
+
+func newMockTarget(n int) *mockTarget {
+	m := &mockTarget{n: n, alive: make([]bool, n), offsets: make(map[[2]int]float64)}
+	for i := range m.alive {
+		m.alive[i] = true
+	}
+	return m
+}
+
+func (m *mockTarget) NumNodes() int { return m.n }
+func (m *mockTarget) Crash(id radio.NodeID) {
+	m.alive[id] = false
+	m.log = append(m.log, "crash")
+}
+func (m *mockTarget) Reboot(id radio.NodeID) {
+	m.alive[id] = true
+	m.log = append(m.log, "reboot")
+}
+func (m *mockTarget) AddLinkOffsetDB(from, to radio.NodeID, dB float64) {
+	m.offsets[[2]int{int(from), int(to)}] += dB
+}
+func (m *mockTarget) SetDropFn(fn func(rx radio.NodeID, f *radio.Frame) bool) { m.dropFn = fn }
+
+func TestInjectorCrashRebootOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := newMockTarget(4)
+	in := NewInjector(eng, tgt, 1)
+	plan := &Plan{Events: []Event{
+		{At: Duration(2 * time.Second), Kind: Crash, Node: 3},
+		{At: Duration(5 * time.Second), Kind: Reboot, Node: 3},
+	}}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := eng.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.alive[3] {
+		t.Fatal("node 3 alive after crash")
+	}
+	if err := eng.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tgt.alive[3] {
+		t.Fatal("node 3 dead after reboot")
+	}
+	if in.Applied() != 2 {
+		t.Fatalf("Applied = %d, want 2", in.Applied())
+	}
+}
+
+func TestInjectorLinkWindowRestores(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := newMockTarget(4)
+	in := NewInjector(eng, tgt, 1)
+	plan := &Plan{Events: []Event{
+		{At: Duration(time.Second), Kind: Link, From: 1, To: 2, OffsetDB: -30, Both: true, For: Duration(4 * time.Second)},
+	}}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := eng.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := tgt.offsets[[2]int{1, 2}]; got != -30 {
+		t.Fatalf("offset 1→2 during window = %v, want -30", got)
+	}
+	if got := tgt.offsets[[2]int{2, 1}]; got != -30 {
+		t.Fatalf("offset 2→1 during window = %v, want -30 (both)", got)
+	}
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range tgt.offsets {
+		if v != 0 {
+			t.Fatalf("offset %v = %v after window, want 0", k, v)
+		}
+	}
+}
+
+func TestInjectorPartitionSeversAllLinks(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := newMockTarget(4)
+	in := NewInjector(eng, tgt, 1)
+	plan := &Plan{Events: []Event{
+		{At: Duration(time.Second), Kind: Partition, Node: 0, For: Duration(2 * time.Second)},
+	}}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < 4; j++ {
+		if tgt.offsets[[2]int{0, j}] != SeverDB || tgt.offsets[[2]int{j, 0}] != SeverDB {
+			t.Fatalf("link 0↔%d not severed: %v / %v", j,
+				tgt.offsets[[2]int{0, j}], tgt.offsets[[2]int{j, 0}])
+		}
+	}
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range tgt.offsets {
+		if v != 0 {
+			t.Fatalf("offset %v = %v after heal, want 0", k, v)
+		}
+	}
+}
+
+func TestInjectorDropWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := newMockTarget(4)
+	in := NewInjector(eng, tgt, 7)
+	plan := &Plan{Events: []Event{
+		{At: 0, Kind: Drop, From: 1, To: 2, Prob: 1, Dst: DstBcast, For: Duration(10 * time.Second)},
+	}}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if tgt.dropFn == nil {
+		t.Fatal("drop filter not installed at schedule time")
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	bcast := &radio.Frame{Src: 1, Dst: radio.BroadcastID}
+	ucast := &radio.Frame{Src: 1, Dst: 2}
+	if !tgt.dropFn(2, bcast) {
+		t.Error("matching broadcast not dropped at p=1")
+	}
+	if tgt.dropFn(2, ucast) {
+		t.Error("unicast dropped despite bcast filter")
+	}
+	if tgt.dropFn(3, bcast) {
+		t.Error("wrong receiver dropped")
+	}
+	if tgt.dropFn(2, &radio.Frame{Src: 0, Dst: radio.BroadcastID}) {
+		t.Error("wrong sender dropped")
+	}
+	// Window closes: nothing matches any more.
+	if err := eng.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tgt.dropFn(2, bcast) {
+		t.Error("frame dropped after the window closed")
+	}
+}
+
+func TestInjectorDropDeterministic(t *testing.T) {
+	draw := func(seed uint64) []bool {
+		eng := sim.NewEngine()
+		tgt := newMockTarget(4)
+		in := NewInjector(eng, tgt, seed)
+		plan := &Plan{Events: []Event{{At: 0, Kind: Drop, From: Any, To: Any, Prob: 0.5}}}
+		if err := in.Schedule(plan); err != nil {
+			t.Fatalf("Schedule: %v", err)
+		}
+		if err := eng.Run(time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		f := &radio.Frame{Src: 1, Dst: 2}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = tgt.dropFn(2, f)
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	seen := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identical seeds", i)
+		}
+		if a[i] {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("p=0.5 window dropped nothing in 64 draws")
+	}
+}
+
+func TestInjectorRejectsOutOfRangePlan(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := newMockTarget(4)
+	in := NewInjector(eng, tgt, 1)
+	plan := &Plan{Events: []Event{{Kind: Crash, Node: 9}}}
+	if err := in.Schedule(plan); err == nil {
+		t.Fatal("out-of-range plan accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package fault provides deterministic, seed-driven fault injection for
+// simulated networks: a scripted FaultPlan (node crash/reboot, link
+// degradation or severing, probabilistic frame-drop windows, partitions)
+// executed through the simulation engine so runs remain byte-reproducible,
+// plus an invariant Oracle that watches the radio trace and per-node
+// protocol state to check the paper's recovery guarantees after every
+// fault epoch.
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+)
+
+// Kind identifies a fault event type.
+type Kind string
+
+// Fault event kinds.
+const (
+	// Crash kills Node: its stacks stop and its radio powers off.
+	Crash Kind = "crash"
+	// Reboot resurrects a crashed Node with a fresh protocol stack.
+	Reboot Kind = "reboot"
+	// Link adds OffsetDB to the directed link From→To (Both mirrors it).
+	// OffsetDB ≤ SeverDB effectively severs the link. For > 0 restores
+	// the offset when the window closes.
+	Link Kind = "link"
+	// Drop discards frames that would otherwise have been received,
+	// matching From (tx, −1 = any), To (rx, −1 = any) and Dst filter,
+	// each with probability Prob. For > 0 bounds the window.
+	Drop Kind = "drop"
+	// Partition severs every link to and from Node (both directions).
+	// Pointing it at the sink models a sink partition. For > 0 heals it.
+	Partition Kind = "partition"
+)
+
+// Dst filter values for Drop events.
+const (
+	DstAny   = "any"   // all frames (also the meaning of an empty filter)
+	DstBcast = "bcast" // only broadcast-addressed frames (anycast streams)
+	DstUcast = "ucast" // only unicast-addressed frames (acks, feedback)
+)
+
+// Any is the wildcard node id for Drop event endpoints.
+const Any = -1
+
+// Duration is a time.Duration that unmarshals from either a JSON number
+// (nanoseconds) or a Go duration string like "90s".
+type Duration time.Duration
+
+// D converts to a time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON encodes the duration as a Go duration string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a number (nanoseconds) or a duration string.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case float64:
+		*d = Duration(time.Duration(x))
+		return nil
+	case string:
+		dur, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("fault: bad duration %q: %w", x, err)
+		}
+		*d = Duration(dur)
+		return nil
+	default:
+		return fmt.Errorf("fault: duration must be a number or string, got %T", v)
+	}
+}
+
+// Event is one scripted fault. Which fields matter depends on Kind.
+type Event struct {
+	// At is the virtual time the fault applies (relative to the start of
+	// the run). Events scheduled in the past apply immediately.
+	At   Duration `json:"at"`
+	Kind Kind     `json:"kind"`
+	// Node is the subject of crash/reboot/partition events.
+	Node int `json:"node,omitempty"`
+	// From/To are the directed link endpoints for link/drop events. Drop
+	// events may use Any (−1) as a wildcard on either side.
+	From int `json:"from,omitempty"`
+	To   int `json:"to,omitempty"`
+	// OffsetDB is the gain perturbation for link events (negative
+	// degrades; ≤ −200 severs).
+	OffsetDB float64 `json:"offset_db,omitempty"`
+	// Both mirrors a link event onto the reverse direction.
+	Both bool `json:"both,omitempty"`
+	// Prob is the per-frame drop probability in [0,1] for drop events.
+	Prob float64 `json:"prob,omitempty"`
+	// Dst filters drop events by frame addressing: "any"/"" (default),
+	// "bcast", or "ucast".
+	Dst string `json:"dst,omitempty"`
+	// For bounds the fault window; zero means permanent.
+	For Duration `json:"for,omitempty"`
+}
+
+// Plan is a named, ordered fault script.
+type Plan struct {
+	Name   string  `json:"name,omitempty"`
+	Events []Event `json:"events"`
+}
+
+// ParsePlan decodes a JSON plan and validates it structurally (node-id
+// range checks happen at schedule time, against the actual network).
+func ParsePlan(data []byte) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("fault: parse plan: %w", err)
+	}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// LoadPlan reads and parses a JSON plan file.
+func LoadPlan(path string) (*Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ParsePlan(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Marshal encodes the plan as indented JSON.
+func (p *Plan) Marshal() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Validate checks every event. numNodes > 0 additionally range-checks
+// node ids against the network size; numNodes ≤ 0 skips those checks
+// (structural validation only, e.g. right after parsing).
+func (p *Plan) Validate(numNodes int) error {
+	for i := range p.Events {
+		if err := p.Events[i].validate(numNodes); err != nil {
+			return fmt.Errorf("fault: event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (ev *Event) validate(numNodes int) error {
+	if ev.At < 0 {
+		return fmt.Errorf("negative at %v", ev.At.D())
+	}
+	if ev.For < 0 {
+		return fmt.Errorf("negative for %v", ev.For.D())
+	}
+	inRange := func(id int) bool { return numNodes <= 0 || id < numNodes }
+	switch ev.Kind {
+	case Crash, Reboot, Partition:
+		if ev.Node < 0 || !inRange(ev.Node) {
+			return fmt.Errorf("%s: node %d out of range", ev.Kind, ev.Node)
+		}
+	case Link:
+		if ev.From < 0 || ev.To < 0 || !inRange(ev.From) || !inRange(ev.To) {
+			return fmt.Errorf("link: endpoints %d→%d out of range", ev.From, ev.To)
+		}
+		if ev.From == ev.To {
+			return fmt.Errorf("link: self link %d→%d", ev.From, ev.To)
+		}
+		if math.IsNaN(ev.OffsetDB) || math.IsInf(ev.OffsetDB, 0) {
+			return fmt.Errorf("link: offset_db not finite")
+		}
+	case Drop:
+		if ev.From < Any || ev.To < Any || !inRange(ev.From) || !inRange(ev.To) {
+			return fmt.Errorf("drop: endpoints %d→%d out of range", ev.From, ev.To)
+		}
+		if math.IsNaN(ev.Prob) || ev.Prob < 0 || ev.Prob > 1 {
+			return fmt.Errorf("drop: prob %v outside [0,1]", ev.Prob)
+		}
+		switch ev.Dst {
+		case "", DstAny, DstBcast, DstUcast:
+		default:
+			return fmt.Errorf("drop: unknown dst filter %q", ev.Dst)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", ev.Kind)
+	}
+	return nil
+}

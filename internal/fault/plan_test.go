@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanForms(t *testing.T) {
+	data := []byte(`{
+		"name": "mixed",
+		"events": [
+			{"at": "90s", "kind": "crash", "node": 5},
+			{"at": "120s", "kind": "reboot", "node": 5},
+			{"at": 1000000000, "kind": "link", "from": 2, "to": 3, "offset_db": -20, "both": true, "for": "60s"},
+			{"at": "150s", "kind": "drop", "from": 1, "to": 2, "prob": 0.5, "dst": "bcast"},
+			{"at": "200s", "kind": "drop", "from": -1, "to": -1, "prob": 0.1},
+			{"at": "300s", "kind": "partition", "node": 0, "for": "30s"}
+		]
+	}`)
+	p, err := ParsePlan(data)
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Name != "mixed" || len(p.Events) != 6 {
+		t.Fatalf("got name=%q events=%d", p.Name, len(p.Events))
+	}
+	if p.Events[0].At.D() != 90*time.Second {
+		t.Errorf("string duration: got %v", p.Events[0].At.D())
+	}
+	if p.Events[2].At.D() != time.Second {
+		t.Errorf("numeric duration: got %v", p.Events[2].At.D())
+	}
+	if !p.Events[2].Both || p.Events[2].For.D() != time.Minute {
+		t.Errorf("link window fields wrong: %+v", p.Events[2])
+	}
+	if p.Events[4].From != Any || p.Events[4].To != Any {
+		t.Errorf("wildcard endpoints wrong: %+v", p.Events[4])
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	p := &Plan{Name: "rt", Events: []Event{
+		{At: Duration(time.Second), Kind: Crash, Node: 3},
+		{At: Duration(2 * time.Second), Kind: Drop, From: Any, To: 4, Prob: 0.25, Dst: DstUcast, For: Duration(time.Minute)},
+		{At: Duration(3 * time.Second), Kind: Link, From: 1, To: 2, OffsetDB: -30, Both: true},
+	}}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	q, err := ParsePlan(data)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(q.Events) != len(p.Events) {
+		t.Fatalf("event count changed: %d != %d", len(q.Events), len(p.Events))
+	}
+	for i := range p.Events {
+		if p.Events[i] != q.Events[i] {
+			t.Errorf("event %d changed: %+v != %+v", i, p.Events[i], q.Events[i])
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+		n    int
+		want string
+	}{
+		{"unknown-kind", Event{Kind: "melt"}, 0, "unknown kind"},
+		{"negative-at", Event{At: -1, Kind: Crash, Node: 1}, 0, "negative at"},
+		{"negative-for", Event{Kind: Crash, Node: 1, For: -1}, 0, "negative for"},
+		{"crash-negative-node", Event{Kind: Crash, Node: -1}, 0, "out of range"},
+		{"crash-node-too-big", Event{Kind: Crash, Node: 9}, 5, "out of range"},
+		{"link-self", Event{Kind: Link, From: 2, To: 2}, 0, "self link"},
+		{"link-wildcard", Event{Kind: Link, From: Any, To: 2}, 0, "out of range"},
+		{"drop-bad-prob", Event{Kind: Drop, From: Any, To: Any, Prob: 1.5}, 0, "outside [0,1]"},
+		{"drop-bad-dst", Event{Kind: Drop, From: Any, To: Any, Prob: 0.5, Dst: "acks"}, 0, "unknown dst filter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := &Plan{Events: []Event{tc.ev}}
+			err := p.Validate(tc.n)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	ok := &Plan{Events: []Event{
+		{Kind: Crash, Node: 4},
+		{Kind: Drop, From: Any, To: 4, Prob: 1},
+		{Kind: Partition, Node: 0, For: Duration(time.Second)},
+	}}
+	if err := ok.Validate(5); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}

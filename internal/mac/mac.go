@@ -215,6 +215,9 @@ func (m *MAC) SetUpper(u Upper) { m.upper = u }
 // Stats returns a copy of the MAC statistics.
 func (m *MAC) Stats() Stats { return m.stats }
 
+// Dead reports whether Kill has been called.
+func (m *MAC) Dead() bool { return m.dead }
+
 // Config returns the MAC configuration.
 func (m *MAC) Config() Config { return m.cfg }
 
@@ -238,6 +241,16 @@ func (m *MAC) Kill() {
 	m.dead = true
 	m.cur = nil
 	m.queue = nil
+	// Cancel pending ack elections eagerly: without this, a dead node's
+	// election events linger in the heap and fire later, delivering
+	// frames to a protocol stack that is supposed to be gone.
+	for _, st := range m.rx {
+		if st.ackPending != nil {
+			st.ackPending.Cancel()
+			st.ackPending = nil
+		}
+	}
+	m.rx = make(map[rxKey]*rxState)
 	m.radio.ForceOff()
 }
 
@@ -340,7 +353,7 @@ func (m *MAC) kick() {
 // csmaAttempt samples CCA and either transmits or backs off.
 func (m *MAC) csmaAttempt() {
 	cur := m.cur
-	if cur == nil {
+	if m.dead || cur == nil {
 		return
 	}
 	if m.eng.Now() >= cur.deadline {
@@ -484,6 +497,16 @@ func (m *MAC) onAck(f *radio.Frame) {
 func (m *MAC) onData(f *radio.Frame) {
 	key := rxKey{src: f.Src, seq: f.Seq}
 	st, seen := m.rx[key]
+	if seen && st.ackPending == nil && m.eng.Now()-st.at > m.cfg.DedupWindow {
+		// The dedup window has lapsed, so this is not a retransmission but
+		// a reuse of the (src,seq) pair — typically a rebooted neighbor
+		// restarting its sequence counter at 1. Forget the stale verdict
+		// and classify afresh; without this, every frame a rebooted node
+		// sends is swallowed as a duplicate until its counter climbs past
+		// its pre-crash value, and the node can never re-attach.
+		delete(m.rx, key)
+		st, seen = nil, false
+	}
 	if seen {
 		st.at = m.eng.Now()
 		switch {

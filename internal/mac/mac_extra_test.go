@@ -190,3 +190,62 @@ func TestSendAfterKillRefused(t *testing.T) {
 		t.Fatal("dead node's radio came back on")
 	}
 }
+
+// TestKillCancelsPendingAckElection reproduces the zombie-receiver bug:
+// a node dies while an anycast ack election it joined is still pending.
+// The election event must be cancelled eagerly — a dead node must never
+// ack, deliver the frame upward, or leave events in the engine heap.
+func TestKillCancelsPendingAckElection(t *testing.T) {
+	eng, macs, uppers := buildNet(t, 2, 5, DefaultConfig(), 0, 1)
+	// Lowest-urgency slot: the election fires ≥ 4.5 ms after reception,
+	// leaving room to kill the receiver first.
+	uppers[1].classify = func(f *radio.Frame) Classification {
+		eng.Schedule(time.Millisecond, func() { macs[1].Kill() })
+		return Classification{Decision: AckAndDeliver, Prio: 7}
+	}
+	if err := macs[0].Send(&radio.Frame{Kind: radio.FrameData, Dst: 1, Size: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !macs[1].Dead() {
+		t.Fatal("receiver not dead")
+	}
+	if n := macs[1].Stats().AcksSent; n != 0 {
+		t.Fatalf("dead node sent %d acks", n)
+	}
+	if len(uppers[1].delivered) != 0 {
+		t.Fatalf("dead node delivered %d frames upward", len(uppers[1].delivered))
+	}
+	if len(uppers[0].done) != 1 || uppers[0].done[0].ok {
+		t.Fatalf("sender result = %+v, want unacked failure", uppers[0].done)
+	}
+	if eng.QueueLen() != 0 {
+		t.Fatalf("%d events still queued after the dust settled", eng.QueueLen())
+	}
+}
+
+// TestKilledNodeNeverTransmitsAgain kills a node mid-stream and verifies
+// its transmit counter freezes permanently.
+func TestKilledNodeNeverTransmitsAgain(t *testing.T) {
+	eng, macs, uppers := buildNet(t, 2, 5, DefaultConfig(), 0, 1)
+	uppers[0].classify = acceptUnicast(0)
+	if err := macs[1].Send(&radio.Frame{Kind: radio.FrameData, Dst: 0, Size: 30}); err != nil {
+		t.Fatal(err)
+	}
+	var txAtKill uint64
+	eng.Schedule(200*time.Microsecond, func() {
+		macs[1].Kill()
+		txAtKill = macs[1].Stats().FrameTx
+	})
+	if err := eng.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := macs[1].Stats().FrameTx; got != txAtKill {
+		t.Fatalf("dead node kept transmitting: %d frames at kill, %d after", txAtKill, got)
+	}
+	if macs[1].Stats().AcksSent != 0 {
+		t.Fatal("dead node acked")
+	}
+}

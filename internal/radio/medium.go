@@ -29,6 +29,15 @@ type Medium struct {
 	// TX power, pruning the O(N) blast per transmission.
 	neighbors [][]NodeID
 
+	// offsetDB holds injected per-directed-link gain perturbations
+	// (fault injection: degradation, severing). Lazily allocated; nil
+	// means no link has ever been perturbed.
+	offsetDB [][]float64
+	// dropFn, when set, is consulted for every frame that passed the
+	// SINR draw; returning true discards it as corrupted (fault
+	// injection: probabilistic loss/corruption windows).
+	dropFn func(rx NodeID, f *Frame) bool
+
 	interferer *noise.WifiInterferer
 	jitterRNG  *rand.Rand
 	traceFn    func(TraceEvent)
@@ -146,14 +155,47 @@ func (f *fadeProc) at(t time.Duration) float64 {
 		f.amp2*math.Sin(2*math.Pi*float64(t)/float64(f.period2)+f.phase2)
 }
 
-// gainAt returns the instantaneous channel gain including fading.
+// gainAt returns the instantaneous channel gain including fading and any
+// injected perturbation.
 func (m *Medium) gainAt(from, to NodeID, t time.Duration) float64 {
 	g := m.gainDB[from][to]
 	if m.fading != nil {
 		g += m.fading[from][to].at(t)
 	}
+	if m.offsetDB != nil {
+		g += m.offsetDB[from][to]
+	}
 	return g
 }
+
+// AddLinkOffsetDB adds dB to the directed link from→to on top of the
+// static gain. Offsets are additive so that overlapping fault windows
+// compose and restore cleanly (apply −x at window start, +x at end). A
+// large negative offset (≤ −200 dB) effectively severs the link.
+func (m *Medium) AddLinkOffsetDB(from, to NodeID, dB float64) {
+	if m.offsetDB == nil {
+		n := len(m.radios)
+		m.offsetDB = make([][]float64, n)
+		for i := range m.offsetDB {
+			m.offsetDB[i] = make([]float64, n)
+		}
+	}
+	m.offsetDB[from][to] += dB
+}
+
+// LinkOffsetDB returns the current injected offset on the directed link.
+func (m *Medium) LinkOffsetDB(from, to NodeID) float64 {
+	if m.offsetDB == nil {
+		return 0
+	}
+	return m.offsetDB[from][to]
+}
+
+// SetDropFn installs a receive-side frame filter consulted after the SINR
+// draw succeeds; returning true discards the frame as corrupted. The SINR
+// draw itself is unaffected, so installing a filter never perturbs the
+// RNG stream of fault-free links. Pass nil to remove.
+func (m *Medium) SetDropFn(fn func(rx NodeID, f *Frame) bool) { m.dropFn = fn }
 
 // ExpectedPRR returns the interference-free packet reception ratio for a
 // frame of sizeBytes sent from→to at txPowerDBm over the quiet noise floor.

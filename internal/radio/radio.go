@@ -234,7 +234,14 @@ func (r *Radio) onAirEnd(tx *transmission) {
 			prr = 0
 		}
 	}
-	if r.rng.Float64() < prr {
+	ok := r.rng.Float64() < prr
+	if ok && r.medium.dropFn != nil && r.medium.dropFn(r.id, tx.frame) {
+		// Injected loss window: the frame decoded fine but the fault
+		// filter discards it. The PRR draw above already happened, so
+		// fault-free links keep their exact RNG stream.
+		ok = false
+	}
+	if ok {
 		r.counters.RxDelivered++
 		r.medium.trace(TraceEvent{Kind: TraceRxOK, Node: r.id, Frame: tx.frame, SINRdB: mwToDBm(snr)})
 		if r.handler != nil {

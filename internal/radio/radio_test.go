@@ -442,3 +442,81 @@ func TestFadingChangesLinkOverTime(t *testing.T) {
 		t.Fatalf("fading produced only %d distinct gains", len(seen))
 	}
 }
+
+func TestLinkOffsetSeversAndRestores(t *testing.T) {
+	send := func(m *Medium, eng *sim.Engine, h *captureHandler) {
+		tx := m.Radio(0)
+		if err := tx.Transmit(&Frame{Kind: FrameData, Src: 0, Dst: 1, Size: 30}, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Run(eng.Now() + time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng, m := testMedium(t, 2, 5)
+	rx := m.Radio(1)
+	h := &captureHandler{}
+	rx.SetHandler(h)
+	rx.SetOn(true)
+	m.Radio(0).SetOn(true)
+
+	m.AddLinkOffsetDB(0, 1, -200)
+	if got := m.LinkOffsetDB(0, 1); got != -200 {
+		t.Fatalf("LinkOffsetDB = %v, want -200", got)
+	}
+	send(m, eng, h)
+	if len(h.frames) != 0 {
+		t.Fatal("frame delivered over a severed link")
+	}
+	// Reverse direction untouched.
+	if got := m.LinkOffsetDB(1, 0); got != 0 {
+		t.Fatalf("reverse offset = %v, want 0", got)
+	}
+	// Restore (additive inverse) and the link works again.
+	m.AddLinkOffsetDB(0, 1, 200)
+	send(m, eng, h)
+	if len(h.frames) != 1 {
+		t.Fatalf("delivered %d frames after restore, want 1", len(h.frames))
+	}
+}
+
+func TestDropFnDiscardsAsCorrupted(t *testing.T) {
+	eng, m := testMedium(t, 2, 5)
+	rx := m.Radio(1)
+	h := &captureHandler{}
+	rx.SetHandler(h)
+	rx.SetOn(true)
+	m.Radio(0).SetOn(true)
+	drops := 0
+	m.SetDropFn(func(id NodeID, f *Frame) bool {
+		drops++
+		return id == 1
+	})
+	if err := m.Radio(0).Transmit(&Frame{Kind: FrameData, Src: 0, Dst: 1, Size: 30}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.frames) != 0 {
+		t.Fatal("dropped frame still delivered")
+	}
+	if drops != 1 {
+		t.Fatalf("drop filter consulted %d times, want 1", drops)
+	}
+	c := rx.Counters()
+	if c.RxCorrupted != 1 || c.RxDelivered != 0 {
+		t.Fatalf("counters = %+v, want the drop counted as corruption", c)
+	}
+	// Removing the filter restores delivery.
+	m.SetDropFn(nil)
+	if err := m.Radio(0).Transmit(&Frame{Kind: FrameData, Src: 0, Dst: 1, Size: 30}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(eng.Now() + time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.frames) != 1 {
+		t.Fatalf("delivered %d after filter removal, want 1", len(h.frames))
+	}
+}
