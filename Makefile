@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-fault race fuzz bench check
+.PHONY: all build vet fmt-check lint test test-fault race fuzz bench check
 
 all: check
 
@@ -14,6 +14,9 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Static checks only (no tests): formatting and go vet.
+lint: fmt-check vet
 
 test:
 	$(GO) test ./...

@@ -376,6 +376,50 @@ func BenchmarkReplicationSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead measures the telemetry plane in both of its
+// states on the same study BenchmarkReplicationSpeedup runs: disabled (no
+// span subscriber — every hot-path Emit is rejected by a single mask test,
+// the contract that keeps telemetry near-free by default) and traced (a
+// Collector subscribed to the core and run layers, full span stream
+// retained). Compare the two ns/op figures to see the cost of turning
+// tracing on; compare "disabled" against the pre-telemetry baseline of
+// BenchmarkReplicationSpeedup to see the cost of having the plane wired
+// at all. BENCH_telemetry.json records a reference pass.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	opts := experiment.DefaultControlOpts()
+	opts.Warmup = 2 * time.Minute
+	opts.Packets = 5
+	opts.Interval = 16 * time.Second
+	seeds := experiment.DeriveSeeds(1, 4)
+
+	bench := func(trace bool) func(*testing.B) {
+		return func(b *testing.B) {
+			o := opts
+			o.Trace = trace
+			var events int
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.Replicator{Workers: 1}.ControlStudy(
+					benchLineScenario, experiment.ProtoTele, o, seeds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if trace && len(res.Events) == 0 {
+					b.Fatal("tracing enabled but no events collected")
+				}
+				if !trace && len(res.Events) != 0 {
+					b.Fatal("events collected with tracing off")
+				}
+				events = len(res.Events)
+			}
+			if trace {
+				b.ReportMetric(float64(events), "events/study")
+			}
+		}
+	}
+	b.Run("disabled", bench(false))
+	b.Run("traced", bench(true))
+}
+
 // BenchmarkAblationWakeInterval sweeps the LPL wake-up interval (the
 // paper fixes 512 ms) and reports the latency/energy trade-off.
 func BenchmarkAblationWakeInterval(b *testing.B) {

@@ -5,11 +5,18 @@
 // replicated over consecutive seeds and the replications run concurrently
 // on -parallel workers; the merged result is identical to a serial run.
 //
+// Control studies can capture the unified telemetry stream: -trace
+// exports every operation-lifecycle event as JSONL (replication-merged,
+// byte-identical regardless of -parallel), and -trace-op renders the
+// per-operation span trees for one destination node to stdout.
+//
 // Examples:
 //
 //	teleadjust-sim -scenario indoor -study control -proto tele -packets 40
 //	teleadjust-sim -scenario tight -study coding -dur 8m
 //	teleadjust-sim -scenario indoor -study control -proto rpl -reps 4 -parallel 4
+//	teleadjust-sim -scenario indoor -study control -proto retele -trace ops.jsonl
+//	teleadjust-sim -scenario indoor -study control -proto retele -trace-op 17
 package main
 
 import (
@@ -21,7 +28,21 @@ import (
 	"teleadjust/internal/experiment"
 	"teleadjust/internal/fault"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 )
+
+// writeTrace exports the collected event stream as JSONL.
+func writeTrace(path string, events []telemetry.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -32,29 +53,36 @@ func main() {
 
 func run() error {
 	var (
-		scenario = flag.String("scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi")
-		study    = flag.String("study", "control", "study: coding, control, scope")
-		proto    = flag.String("proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
-		dur      = flag.Duration("dur", 8*time.Minute, "coding study duration")
-		warmup   = flag.Duration("warmup", 4*time.Minute, "control study warmup")
-		packets  = flag.Int("packets", 40, "control packets to send")
-		interval = flag.Duration("interval", 15*time.Second, "inter-packet interval")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		reps     = flag.Int("reps", 1, "independent replications over consecutive seeds")
-		parallel = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
-		trace    = flag.Int("trace", 0, "dump the last N medium events (tx/rx) after the run")
-		svgPath  = flag.String("svg", "", "write the converged topology/tree/codes as SVG to this file")
-		planPath = flag.String("faultplan", "", "JSON fault plan scheduled on every replication (see EXPERIMENTS.md)")
+		scenario  = flag.String("scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi")
+		study     = flag.String("study", "control", "study: coding, control, scope")
+		proto     = flag.String("proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
+		dur       = flag.Duration("dur", 8*time.Minute, "coding study duration")
+		warmup    = flag.Duration("warmup", 4*time.Minute, "control study warmup")
+		packets   = flag.Int("packets", 40, "control packets to send")
+		interval  = flag.Duration("interval", 15*time.Second, "inter-packet interval")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		reps      = flag.Int("reps", 1, "independent replications over consecutive seeds")
+		parallel  = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
+		tracePath = flag.String("trace", "", "write the telemetry event stream as JSONL to this file (control study)")
+		traceOp   = flag.Int("trace-op", -1, "render operation span traces for this destination node (control study)")
+		svgPath   = flag.String("svg", "", "write the converged topology/tree/codes as SVG to this file")
+		planPath  = flag.String("faultplan", "", "JSON fault plan scheduled on every replication (see EXPERIMENTS.md)")
 	)
 	flag.Parse()
 
+	tracing := *tracePath != "" || *traceOp >= 0
 	if *reps < 1 {
 		return fmt.Errorf("-reps must be >= 1")
 	}
-	if *reps > 1 && (*trace > 0 || *svgPath != "") {
-		// The trace ring and SVG hooks instrument one network instance;
-		// with concurrent replications there is no single network to tap.
-		return fmt.Errorf("-trace and -svg require -reps 1")
+	if *reps > 1 && *svgPath != "" {
+		// The SVG hook instruments one network instance; with concurrent
+		// replications there is no single network to tap. The telemetry
+		// trace has no such restriction: each replication collects on its
+		// own bus and the merge is deterministic in seed order.
+		return fmt.Errorf("-svg requires -reps 1")
+	}
+	if tracing && *study != "control" {
+		return fmt.Errorf("-trace and -trace-op apply to control studies only")
 	}
 	var plan *fault.Plan
 	if *planPath != "" {
@@ -69,7 +97,6 @@ func run() error {
 		return err
 	}
 	scn.Fault = plan
-	var ring *radio.TraceRing
 	var builtNet *experiment.Net
 	prevHook := scn.OnNetBuilt
 	scn.OnNetBuilt = func(net *experiment.Net) {
@@ -77,19 +104,6 @@ func run() error {
 		if prevHook != nil {
 			prevHook(net)
 		}
-		if *trace > 0 {
-			ring = radio.NewTraceRing(*trace)
-			net.Medium.SetTraceFn(ring.Record)
-		}
-	}
-	if *trace > 0 {
-		defer func() {
-			if ring == nil {
-				return
-			}
-			fmt.Printf("\n--- last %d medium events ---\n", *trace)
-			_ = ring.Dump(os.Stdout)
-		}()
 	}
 	if *svgPath != "" {
 		defer func() {
@@ -145,19 +159,30 @@ func run() error {
 		opts.Warmup = *warmup
 		opts.Packets = *packets
 		opts.Interval = *interval
+		opts.Trace = tracing
+		var res *experiment.ControlResult
 		if *reps == 1 {
-			res, err := experiment.RunControlStudy(scn, p, opts)
-			if err != nil {
-				return err
-			}
-			experiment.WriteControlReport(os.Stdout, res)
-			return nil
+			res, err = experiment.RunControlStudy(scn, p, opts)
+		} else {
+			res, err = rep.ControlStudy(build, p, opts, seeds)
 		}
-		res, err := rep.ControlStudy(build, p, opts, seeds)
 		if err != nil {
 			return err
 		}
 		experiment.WriteControlReport(os.Stdout, res)
+		if *tracePath != "" {
+			if err := writeTrace(*tracePath, res.Events); err != nil {
+				return err
+			}
+			fmt.Printf("\n%d telemetry events written to %s\n", len(res.Events), *tracePath)
+		}
+		if *traceOp >= 0 {
+			dst := radio.NodeID(*traceOp)
+			fmt.Printf("\n--- operation spans to node %d ---\n", dst)
+			telemetry.RenderOpSpans(os.Stdout, res.Events, func(s *telemetry.OpSpan) bool {
+				return s.Dst == dst
+			})
+		}
 	case "scope":
 		if *reps > 1 {
 			return fmt.Errorf("the scope study does not support -reps")

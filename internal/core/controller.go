@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 )
 
 // Controller-side errors.
@@ -29,6 +30,7 @@ func (e *Engine) SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32
 	}
 	info, ok := e.registry[dst]
 	if !ok {
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpUnroutable, Dst: dst})
 		return 0, fmt.Errorf("%w: node %d", ErrUnknownCode, dst)
 	}
 	e.uidSeq++
@@ -53,6 +55,7 @@ func (e *Engine) SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32
 		at:         e.eng.Now(),
 	}
 	e.ctrl[uid] = st
+	e.emitOp(telemetry.Event{Kind: telemetry.KindOpIssue, Op: uid, UID: uid, Dst: dst})
 	e.forwardControl(st)
 	return uid, nil
 }
@@ -115,12 +118,23 @@ func (e *Engine) resolveAck(ack *E2EAck) {
 	}
 	delete(e.pending, ack.UID)
 	p.timeout.Cancel()
+	lat := e.eng.Now() - p.sentAt
+	if e.e2eLat != nil {
+		e.e2eLat.Observe(lat.Seconds())
+		e.e2eHops.Observe(float64(ack.Hops))
+	}
+	if e.bus.Wants(telemetry.LayerCore) {
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpE2EAck, Op: p.op, UID: ack.UID,
+			Src: ack.From, Hops: ack.Hops, Value: lat.Seconds()})
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpResult, Op: p.op, UID: ack.UID,
+			Dst: p.dst, Value: 1})
+	}
 	if p.cb != nil {
 		p.cb(Result{
 			UID:      ack.UID,
 			Dst:      ack.From,
 			OK:       true,
-			Latency:  e.eng.Now() - p.sentAt,
+			Latency:  lat,
 			E2EHops:  ack.Hops,
 			Detoured: p.detoured,
 		})
@@ -160,6 +174,7 @@ func (e *Engine) failPending(uid uint32, p *pendingControl) {
 	delete(e.pending, uid)
 	p.timeout.Cancel()
 	e.stats.SendFailures++
+	e.emitOp(telemetry.Event{Kind: telemetry.KindOpResult, Op: p.op, UID: uid, Dst: p.dst, Value: 0})
 	if p.cb != nil {
 		p.cb(Result{
 			UID:      uid,
@@ -201,6 +216,8 @@ func (e *Engine) tryRescue(uid uint32, p *pendingControl) bool {
 	p.timeout.Cancel()
 	p.timeout = e.eng.Schedule(e.cfg.ControlTimeout, func() { e.pendingTimeout(uid2) })
 
+	e.emitOp(telemetry.Event{Kind: telemetry.KindOpRescue, Op: p.op, UID: uid2, Dst: k,
+		Note: "re-tele detour via rescue relay"})
 	c := &Control{
 		UID:      uid2,
 		Op:       p.op,

@@ -3,6 +3,7 @@ package core
 import (
 	"teleadjust/internal/mac"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 )
 
 // Ack-election priorities: the destination acks first, then on-path relays
@@ -78,14 +79,27 @@ func (e *Engine) neighborMatch(dst PathCode, bar int, excluded map[radio.NodeID]
 // destination itself.
 func (e *Engine) classifyControl(f *radio.Frame, c *Control) mac.Classification {
 	me := e.node.ID()
+	trace := e.bus.Wants(telemetry.LayerCore)
 	if c.FinalLeg {
 		if f.Dst == me {
+			if trace {
+				e.emitOp(telemetry.Event{Kind: telemetry.KindOpRelayCase, Op: c.Op, UID: c.UID,
+					Hops: c.Hops, Note: "final-leg destination"})
+			}
 			return mac.Classification{Decision: mac.AckAndDeliver, Prio: prioDestination}
 		}
 		return mac.Classification{Decision: mac.Ignore}
 	}
 	if c.Dst == me {
 		// Destination (or detour target): always accept.
+		if trace {
+			note := "destination"
+			if c.Detour {
+				note = "detour target"
+			}
+			e.emitOp(telemetry.Event{Kind: telemetry.KindOpRelayCase, Op: c.Op, UID: c.UID,
+				Hops: c.Hops, Note: note})
+		}
 		return mac.Classification{Decision: mac.AckAndDeliver, Prio: prioDestination}
 	}
 	if st, ok := e.ctrl[c.UID]; ok && st != nil {
@@ -102,12 +116,20 @@ func (e *Engine) classifyControl(f *radio.Frame, c *Control) mac.Classification 
 	bar := int(c.ExpectedLen)
 	if e.cfg.Opportunistic {
 		if m := e.myMatch(c.DstCode); m > bar {
+			if trace {
+				e.emitOp(telemetry.Event{Kind: telemetry.KindOpRelayCase, Op: c.Op, UID: c.UID,
+					Hops: c.Hops, Value: float64(m - bar), Note: "opportunistic self-match"})
+			}
 			return mac.Classification{Decision: mac.AckAndDeliver, Prio: progressPrio(m - bar)}
 		}
 		if _, nm := e.neighborMatch(c.DstCode, bar, nil); nm > 0 {
 			prio := progressPrio(nm-bar) + 2
 			if prio > prioExpected-1 {
 				prio = prioExpected - 1
+			}
+			if trace {
+				e.emitOp(telemetry.Event{Kind: telemetry.KindOpRelayCase, Op: c.Op, UID: c.UID,
+					Hops: c.Hops, Value: float64(nm - bar), Note: "opportunistic neighbor-match"})
 			}
 			return mac.Classification{Decision: mac.AckAndDeliver, Prio: prio}
 		}
@@ -116,6 +138,10 @@ func (e *Engine) classifyControl(f *radio.Frame, c *Control) mac.Classification 
 		prio := prioExpected
 		if !e.cfg.Opportunistic {
 			prio = 0 // strict mode: only the expected relay answers
+		}
+		if trace {
+			e.emitOp(telemetry.Event{Kind: telemetry.KindOpRelayCase, Op: c.Op, UID: c.UID,
+				Hops: c.Hops, Note: "expected relay"})
 		}
 		return mac.Classification{Decision: mac.AckAndDeliver, Prio: prio}
 	}
@@ -146,6 +172,8 @@ func (e *Engine) deliverControl(f *radio.Frame, c *Control) {
 			App:      c.App,
 		}
 		e.stats.ControlSends++
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpDetourLeg, Op: c.Op, UID: c.UID,
+			Dst: c.FinalDst, Hops: leg.Hops})
 		_ = e.node.Send(&radio.Frame{
 			Kind:    radio.FrameData,
 			Dst:     c.FinalDst,
@@ -175,8 +203,12 @@ func (e *Engine) deliverControl(f *radio.Frame, c *Control) {
 func (e *Engine) consume(c *Control, from radio.NodeID, direct bool) {
 	if e.opDelivered(c.Op) {
 		e.stats.ControlDupDeliv++
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpDupConsume, Op: c.Op, UID: c.UID,
+			Src: from, Hops: c.Hops})
 	} else {
 		e.stats.ControlDeliv++
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpConsume, Op: c.Op, UID: c.UID,
+			Src: from, Hops: c.Hops})
 		if e.deliverFn != nil {
 			e.deliverFn(c.Op, c.Hops)
 		}
@@ -241,6 +273,10 @@ func (e *Engine) forwardControl(st *ctrlState) {
 	e.stats.ControlSends++
 	if !e.isSink {
 		e.stats.ControlRelayed++
+	}
+	if e.bus.Wants(telemetry.LayerCore) {
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpForward, Op: fwd.Op, UID: fwd.UID,
+			Dst: expected, Hops: fwd.Hops, Value: float64(expectedLen)})
 	}
 	frame := &radio.Frame{
 		Kind:    radio.FrameData,
@@ -322,6 +358,8 @@ func (e *Engine) handleForwardFailure(st *ctrlState, expected radio.NodeID) {
 	}
 	st.attempts--
 	if st.attempts > 0 {
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpRetry, Op: c.Op, UID: c.UID,
+			Dst: expected, Value: float64(st.attempts)})
 		e.forwardControl(st)
 		return
 	}
@@ -332,6 +370,8 @@ func (e *Engine) handleForwardFailure(st *ctrlState, expected radio.NodeID) {
 		fb := &Feedback{UID: c.UID, FailedRelay: e.node.ID(), Ctrl: c}
 		e.stats.Backtracks++
 		e.stats.FeedbackSends++
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpBacktrack, Op: c.Op, UID: c.UID,
+			Dst: st.prev})
 		_ = e.node.Send(&radio.Frame{
 			Kind:    radio.FrameData,
 			Dst:     st.prev,
@@ -413,6 +453,8 @@ func (e *Engine) deliverFeedback(f *radio.Frame, fb *Feedback) {
 	if st.backtracks < 0 {
 		// Give up here too: propagate the feedback upstream.
 		st.status = ctrlFailed
+		e.emitOp(telemetry.Event{Kind: telemetry.KindOpGiveUp, Op: st.ctrl.Op, UID: fb.UID,
+			Src: fb.FailedRelay})
 		if st.havePrev {
 			up := &Feedback{UID: fb.UID, FailedRelay: e.node.ID(), Ctrl: st.ctrl}
 			e.stats.FeedbackSends++
@@ -426,6 +468,15 @@ func (e *Engine) deliverFeedback(f *radio.Frame, fb *Feedback) {
 			e.sinkUndeliverable(st.ctrl)
 		}
 		return
+	}
+	if e.bus.Wants(telemetry.LayerCore) {
+		kind := telemetry.KindOpReopen
+		if f.Dst != e.node.ID() {
+			// The Figure 5(a) refinement: we overheard someone else's
+			// feedback and are resuming forwarding ourselves.
+			kind = telemetry.KindOpIntercept
+		}
+		e.emitOp(telemetry.Event{Kind: kind, Op: fb.Ctrl.Op, UID: fb.UID, Src: fb.FailedRelay})
 	}
 	// The expected-relay bar must be recomputed from our own vantage:
 	// restart from our match.

@@ -77,6 +77,10 @@ type Control struct {
 	App any
 }
 
+// TelemetryIDs implements telemetry.OpIdentified: frame-level trace events
+// carrying a control packet are attributed to its operation span.
+func (c *Control) TelemetryIDs() (op, uid uint32) { return c.Op, c.UID }
+
 // Feedback returns an undeliverable control packet to the previous upward
 // relay (backtracking, Section III-C3).
 type Feedback struct {
@@ -84,6 +88,14 @@ type Feedback struct {
 	// FailedRelay is the node reporting unreachability.
 	FailedRelay radio.NodeID
 	Ctrl        *Control
+}
+
+// TelemetryIDs implements telemetry.OpIdentified.
+func (fb *Feedback) TelemetryIDs() (op, uid uint32) {
+	if fb.Ctrl != nil {
+		op = fb.Ctrl.Op
+	}
+	return op, fb.UID
 }
 
 // CodeReport is sent upward over CTP so the controller learns each node's

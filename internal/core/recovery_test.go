@@ -8,11 +8,12 @@ import (
 	"teleadjust/internal/experiment"
 	"teleadjust/internal/fault"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 	"teleadjust/internal/topology"
 )
 
 // attachOracle wires the protocol invariant oracle onto the network's
-// radio trace. Attached after convergence so the oracle only judges the
+// telemetry bus. Attached after convergence so the oracle only judges the
 // control exchange under test.
 func attachOracle(net *experiment.Net, teleCfg core.Config, rescue bool) *fault.Oracle {
 	orc := fault.NewOracle(fault.OracleConfig{
@@ -26,7 +27,7 @@ func attachOracle(net *experiment.Net, teleCfg core.Config, rescue bool) *fault.
 	orc.TeleAt = net.Tele
 	orc.Alive = net.Alive
 	orc.Now = net.Eng.Now
-	net.Medium.SetTraceFn(orc.ObserveTrace)
+	net.Bus.Subscribe(orc, telemetry.LayerRadio)
 	return orc
 }
 

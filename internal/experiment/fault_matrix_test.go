@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"teleadjust/internal/fault"
+	"teleadjust/internal/telemetry"
 )
 
 // matrixChurnPlan is the shared fault script of the cross-protocol churn
@@ -62,7 +63,7 @@ func TestFaultMatrixAcrossProtocols(t *testing.T) {
 				orc.TeleAt = n.Tele
 				orc.Alive = n.Alive
 				orc.Now = n.Eng.Now
-				n.Medium.SetTraceFn(orc.ObserveTrace)
+				n.Bus.Subscribe(orc, telemetry.LayerRadio)
 			}
 			res, err := RunControlStudy(scn, proto, opts)
 			if err != nil {

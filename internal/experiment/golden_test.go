@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"teleadjust/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when the test runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// goldenCodingResult is a hand-built fixture: small, deterministic values
+// exercising every section of the coding report.
+func goldenCodingResult() *CodingResult {
+	res := &CodingResult{
+		Scenario:           "golden-grid",
+		Converged:          0.975,
+		HopRatio:           1.081,
+		CodeLenByHop:       stats.NewByKey(),
+		ChildrenByHop:      stats.NewByKey(),
+		ConvergenceBeacons: &stats.Series{},
+		ReverseVsCTP:       &stats.Scatter{},
+	}
+	for hop, bits := range map[int][]float64{
+		1: {2, 3, 2},
+		2: {5, 6},
+		3: {8, 9, 10},
+	} {
+		for _, b := range bits {
+			res.CodeLenByHop.Add(hop, b)
+		}
+	}
+	res.ChildrenByHop.Add(1, 3)
+	res.ChildrenByHop.Add(1, 2)
+	res.ChildrenByHop.Add(2, 1)
+	for _, v := range []float64{4, 6, 7, 9, 12} {
+		res.ConvergenceBeacons.Add(v)
+	}
+	res.ReverseVsCTP.Add(1, 1)
+	res.ReverseVsCTP.Add(2, 2)
+	res.ReverseVsCTP.Add(2, 3)
+	res.ReverseVsCTP.Add(3, 3)
+	return res
+}
+
+func goldenControlResult() *ControlResult {
+	res := &ControlResult{
+		Proto:        "TeleAdjust",
+		Scenario:     "golden-grid",
+		Sent:         20,
+		Delivered:    18,
+		Skipped:      1,
+		TxPerPacket:  4.27,
+		AvgDutyCycle: 0.0231,
+		PDRByHop:     stats.NewByKey(),
+		LatencyByHop: stats.NewByKey(),
+		ATHX:         &stats.Scatter{},
+		Detail:       map[string]float64{"backtracks": 3, "rescues": 1},
+	}
+	for hop, pdr := range map[int][]float64{
+		1: {1, 1},
+		2: {1, 0.5},
+		3: {0.75},
+	} {
+		for _, v := range pdr {
+			res.PDRByHop.Add(hop, v)
+		}
+	}
+	res.LatencyByHop.Add(1, 0.9)
+	res.LatencyByHop.Add(2, 1.8)
+	res.LatencyByHop.Add(3, 2.6)
+	res.ATHX.Add(1, 1)
+	res.ATHX.Add(2, 2)
+	res.ATHX.Add(3, 4)
+	return res
+}
+
+func TestWriteCodingReportGolden(t *testing.T) {
+	var sb bytes.Buffer
+	WriteCodingReport(&sb, goldenCodingResult())
+	checkGolden(t, "coding_report.golden", sb.Bytes())
+}
+
+// TestWriteCodingReportEmptyConvergenceGolden pins the n/a rendering: a
+// study where no node converged must not print ±Inf.
+func TestWriteCodingReportEmptyConvergenceGolden(t *testing.T) {
+	res := goldenCodingResult()
+	res.Converged = 0
+	res.ConvergenceBeacons = &stats.Series{}
+	var sb bytes.Buffer
+	WriteCodingReport(&sb, res)
+	if bytes.Contains(sb.Bytes(), []byte("Inf")) {
+		t.Fatalf("report leaks Inf:\n%s", sb.String())
+	}
+	checkGolden(t, "coding_report_unconverged.golden", sb.Bytes())
+}
+
+func TestWriteControlReportGolden(t *testing.T) {
+	var sb bytes.Buffer
+	WriteControlReport(&sb, goldenControlResult())
+	checkGolden(t, "control_report.golden", sb.Bytes())
+}

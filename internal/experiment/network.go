@@ -20,6 +20,7 @@ import (
 	"teleadjust/internal/rpl"
 	"teleadjust/internal/sim"
 	"teleadjust/internal/stats"
+	"teleadjust/internal/telemetry"
 	"teleadjust/internal/topology"
 )
 
@@ -72,6 +73,16 @@ type Net struct {
 	Sink   radio.NodeID
 	Stacks []*Stack
 
+	// Bus is the network's unified telemetry event stream: the medium's
+	// radio tap, the MAC send lifecycle, and the control protocol's
+	// operation spans all emit into it. With no subscribers it is
+	// near-free (every emission dies on one mask test).
+	Bus *telemetry.Bus
+	// Metrics is the cross-layer metrics registry: protocol and MAC
+	// counters are bound into it per node, and per-node radio duty-cycle
+	// gauges read the medium directly (so they survive reboots).
+	Metrics *telemetry.Registry
+
 	cfg Config
 
 	alive   []bool
@@ -117,13 +128,22 @@ func Build(cfg Config) (*Net, error) {
 	}
 	n := cfg.Dep.Len()
 	net := &Net{
-		Eng:    eng,
-		Medium: med,
-		Dep:    cfg.Dep,
-		Sink:   radio.NodeID(cfg.Dep.Sink),
-		Stacks: make([]*Stack, n),
-		cfg:    cfg,
+		Eng:     eng,
+		Medium:  med,
+		Dep:     cfg.Dep,
+		Sink:    radio.NodeID(cfg.Dep.Sink),
+		Stacks:  make([]*Stack, n),
+		Bus:     telemetry.NewBus(eng.Now),
+		Metrics: telemetry.NewRegistry(),
+		cfg:     cfg,
 	}
+	// The radio tap costs one callback per frame event, so it is only
+	// installed once something subscribes to the radio layer (the invariant
+	// oracle, a span collector); until then the medium's trace hook stays
+	// nil and frames cost nothing.
+	net.Bus.OnLayerEnabled(telemetry.LayerRadio, func() {
+		med.SetTraceFn(telemetry.RadioTap(net.Bus))
+	})
 	for i := 0; i < n; i++ {
 		id := radio.NodeID(i)
 		mcfg := cfg.Mac
@@ -135,6 +155,7 @@ func Build(cfg Config) (*Net, error) {
 		if build != nil {
 			st.Ctrl = build(&net.cfg, st.Node, st.Ctp, i)
 		}
+		net.wireTelemetry(st, id)
 		net.Stacks[i] = st
 	}
 	net.alive = make([]bool, n)
@@ -155,6 +176,35 @@ func Build(cfg Config) (*Net, error) {
 		}
 	}
 	return net, nil
+}
+
+// telemetrySettable is implemented by stack components that bind their
+// statistics into the registry and emit events onto the bus.
+type telemetrySettable interface {
+	SetTelemetry(*telemetry.Registry, *telemetry.Bus)
+}
+
+// wireTelemetry binds a (fresh) stack's counters into the registry and
+// hands it the event bus. The per-node duty-cycle gauge reads the radio
+// through the medium, which survives reboots — it measures the mote's
+// energy history, not the current stack instance's.
+func (n *Net) wireTelemetry(st *Stack, id radio.NodeID) {
+	st.Mac.SetTelemetry(n.Metrics, n.Bus)
+	if ts, ok := st.Ctrl.(telemetrySettable); ok {
+		ts.SetTelemetry(n.Metrics, n.Bus)
+	}
+	r := n.Medium.Radio(id)
+	eng := n.Eng
+	n.Metrics.GaugeFunc(telemetry.LayerRadio, id, "duty-cycle", func() float64 {
+		now := eng.Now()
+		if now == 0 {
+			return 0
+		}
+		return float64(r.OnTime()) / float64(now)
+	})
+	n.Metrics.GaugeFunc(telemetry.LayerRadio, id, "on-time-s", func() float64 {
+		return r.OnTime().Seconds()
+	})
 }
 
 // Start launches the MAC, the collection substrate, and the control
@@ -248,6 +298,9 @@ func (n *Net) RebootNode(id radio.NodeID) {
 	if build, err := builderFor(n.cfg.Protocol); err == nil && build != nil {
 		st.Ctrl = build(&n.cfg, st.Node, st.Ctp, i)
 	}
+	// Re-bind the fresh stack's counters: the registry replaces the dead
+	// stack's bindings, modeling the volatile-state loss of a reboot.
+	n.wireTelemetry(st, id)
 	n.Stacks[i] = st
 	n.alive[i] = true
 	st.Mac.Start()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"teleadjust/internal/fault"
+	"teleadjust/internal/telemetry"
 )
 
 // replicateOpts is a fast control study for replication tests.
@@ -44,6 +45,50 @@ func TestParallelReplicationByteIdentical(t *testing.T) {
 	}
 	if serial.Sent != 3*len(seeds) {
 		t.Fatalf("merged Sent = %d, want %d", serial.Sent, 3*len(seeds))
+	}
+}
+
+// TestParallelReplicationTraceByteIdentical extends the determinism
+// contract to the telemetry plane: with tracing enabled, the merged event
+// stream of a multi-worker pool must serialize to the exact same JSONL
+// bytes as the serial merge. Events are tagged with their replication
+// index during the merge, so ordering is by seed position, never by
+// worker completion order.
+func TestParallelReplicationTraceByteIdentical(t *testing.T) {
+	seeds := DeriveSeeds(11, 3)
+	opts := replicateOpts()
+	opts.Trace = true
+
+	serial, err := Replicator{Workers: 1}.ControlStudy(smallScenario, ProtoReTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Replicator{Workers: 3}.ControlStudy(smallScenario, ProtoReTele, opts, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Events) == 0 {
+		t.Fatal("tracing enabled but no events collected")
+	}
+	runs := map[int]bool{}
+	for _, ev := range serial.Events {
+		runs[ev.Run] = true
+	}
+	for ri := range seeds {
+		if !runs[ri] {
+			t.Fatalf("no events tagged with replication index %d", ri)
+		}
+	}
+
+	var sb, pb bytes.Buffer
+	if err := telemetry.WriteJSONL(&sb, serial.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteJSONL(&pb, parallel.Events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("parallel trace diverged from serial: %d vs %d bytes", sb.Len(), pb.Len())
 	}
 }
 

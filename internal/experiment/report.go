@@ -18,9 +18,13 @@ func WriteCodingReport(w io.Writer, res *CodingResult) {
 	fmt.Fprint(w, res.CodeLenByHop.Table("hops", "bits"))
 	fmt.Fprintln(w, "\nFig 6b — children per node by hop:")
 	fmt.Fprint(w, res.ChildrenByHop.Table("hops", "children"))
-	fmt.Fprintf(w, "\nFig 6c — convergence: n=%d mean=%.1f beacons p90=%.1f max=%.1f (paper: most <10, all ≤20)\n",
-		res.ConvergenceBeacons.Count(), res.ConvergenceBeacons.Mean(),
-		res.ConvergenceBeacons.Percentile(90), res.ConvergenceBeacons.Max())
+	if res.ConvergenceBeacons.Count() == 0 {
+		fmt.Fprintln(w, "\nFig 6c — convergence: n=0 mean=n/a beacons p90=n/a max=n/a (no node converged)")
+	} else {
+		fmt.Fprintf(w, "\nFig 6c — convergence: n=%d mean=%.1f beacons p90=%.1f max=%.1f (paper: most <10, all ≤20)\n",
+			res.ConvergenceBeacons.Count(), res.ConvergenceBeacons.Mean(),
+			res.ConvergenceBeacons.Percentile(90), res.ConvergenceBeacons.Max())
+	}
 	fmt.Fprintf(w, "\nFig 6d — reverse vs CTP hop count: ratio=%.3f (paper: 1.08)\n", res.HopRatio)
 	fmt.Fprint(w, res.ReverseVsCTP.MeanYForX().Table("ctp-hops", "rev-hops"))
 }

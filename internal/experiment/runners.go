@@ -9,6 +9,7 @@ import (
 	"teleadjust/internal/radio"
 	"teleadjust/internal/sim"
 	"teleadjust/internal/stats"
+	"teleadjust/internal/telemetry"
 )
 
 // CodingResult aggregates the path-code experiments (Fig. 6a–d, Table II).
@@ -140,6 +141,10 @@ type ControlResult struct {
 	// Detail holds protocol-specific per-packet diagnostics (backtracks,
 	// rescues, duplicate deliveries, DAO traffic, ...).
 	Detail map[string]float64
+	// Events is the collected telemetry stream of the control phase
+	// (ControlOpts.Trace); merged seed runs carry their replication index
+	// in Event.Run, appended in seed order.
+	Events []telemetry.Event
 }
 
 // PDR returns the overall delivery ratio.
@@ -169,6 +174,10 @@ type ControlOpts struct {
 	// phase (the paper's concurrent collection traffic; its testbed used
 	// a 10-minute IPI).
 	DataIPI time.Duration
+	// Trace collects the core-layer operation spans and run-layer delivery
+	// events of the whole run into ControlResult.Events (deterministic,
+	// seed-merge safe; JSONL-exportable via telemetry.WriteJSONL).
+	Trace bool
 }
 
 // DefaultControlOpts returns a scaled-down version of the paper's 3-hour
@@ -191,6 +200,17 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	if err != nil {
 		return nil, err
 	}
+	// The Fig-7/Fig-10 delivery bookkeeping consumes the unified telemetry
+	// stream: the per-protocol delivered hooks (installed below) emit
+	// run-layer delivery events, and this sink is their only consumer —
+	// there is no second aggregation path.
+	delivery := &deliverySink{at: make(map[uint32]time.Duration)}
+	net.Bus.Subscribe(delivery, telemetry.LayerRun)
+	var collector *telemetry.Collector
+	if opts.Trace {
+		collector = telemetry.NewCollector()
+		net.Bus.Subscribe(collector, telemetry.LayerCore, telemetry.LayerRun)
+	}
 	if scn.OnNetBuilt != nil {
 		scn.OnNetBuilt(net)
 	}
@@ -210,11 +230,12 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 		ATHX:         &stats.Scatter{},
 	}
 
-	// Snapshot baselines after warmup.
+	// Snapshot baselines after warmup. Radio on-time reads the registry's
+	// per-node gauges (Fig 9 consumes the metrics plane).
 	phaseStart := net.Eng.Now()
-	onBase := make([]time.Duration, net.Dep.Len())
-	for i, st := range net.Stacks {
-		onBase[i] = st.Mac.RadioOnTime()
+	onBase := make([]float64, net.Dep.Len())
+	for i := range net.Stacks {
+		onBase[i], _ = net.Metrics.Gauge(telemetry.LayerRadio, radio.NodeID(i), "on-time-s")
 	}
 	txBase := net.controlTx()
 
@@ -224,17 +245,19 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 		hops int
 	}
 	sentByUID := make(map[uint32]*sent)
-	deliveredAt := make(map[uint32]time.Duration)
+	deliveredAt := delivery.at
 
-	// Register delivered hooks once, uniformly over all stacks.
+	// Register delivered hooks once, uniformly over all stacks: each hook
+	// publishes a run-layer delivery event onto the bus, which the
+	// delivery sink (and an optional trace collector) consume.
 	for i, st := range net.Stacks {
-		if radio.NodeID(i) == net.Sink || st.Ctrl == nil {
+		id := radio.NodeID(i)
+		if id == net.Sink || st.Ctrl == nil {
 			continue
 		}
 		st.Ctrl.SetDeliveredFn(func(uid uint32, hops uint8) {
-			if _, ok := deliveredAt[uid]; !ok {
-				deliveredAt[uid] = net.Eng.Now()
-			}
+			net.Bus.Emit(telemetry.Event{Layer: telemetry.LayerRun,
+				Kind: telemetry.KindOpDelivered, Node: id, Op: uid, Hops: hops})
 		})
 	}
 
@@ -340,14 +363,33 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	}
 	res.TxPerPacket = float64(net.controlTx()-txBase) / float64(max(1, res.Sent))
 	res.Detail = net.detailPerPacket(res.Sent)
-	phaseDur := net.Eng.Now() - phaseStart
+	phaseDur := (net.Eng.Now() - phaseStart).Seconds()
 	var dutySum float64
-	for i, st := range net.Stacks {
-		dutySum += float64(st.Mac.RadioOnTime()-onBase[i]) / float64(phaseDur)
+	for i := range net.Stacks {
+		on, _ := net.Metrics.Gauge(telemetry.LayerRadio, radio.NodeID(i), "on-time-s")
+		dutySum += (on - onBase[i]) / phaseDur
 	}
 	res.AvgDutyCycle = dutySum / float64(len(net.Stacks))
 	net.collectATHX(res.ATHX, phaseStart)
+	if collector != nil {
+		res.Events = collector.Events()
+	}
 	return res, nil
+}
+
+// deliverySink indexes run-layer delivery events by operation id: the
+// first arrival per op is the Fig-10 one-way latency sample.
+type deliverySink struct {
+	at map[uint32]time.Duration
+}
+
+func (s *deliverySink) Consume(ev telemetry.Event) {
+	if ev.Kind != telemetry.KindOpDelivered {
+		return
+	}
+	if _, ok := s.at[ev.Op]; !ok {
+		s.at[ev.Op] = ev.At
+	}
 }
 
 // mergeControlResults merges per-seed control results in slice order; the
@@ -356,6 +398,16 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 func mergeControlResults(results []*ControlResult) *ControlResult {
 	var merged *ControlResult
 	var txSum, dutySum float64
+	// Telemetry events are concatenated in seed order, each tagged with
+	// its replication index, so a parallel replication's merged stream is
+	// byte-identical to the serial one.
+	var events []telemetry.Event
+	for ri, res := range results {
+		for _, ev := range res.Events {
+			ev.Run = ri
+			events = append(events, ev)
+		}
+	}
 	for _, res := range results {
 		txSum += res.TxPerPacket
 		dutySum += res.AvgDutyCycle
@@ -379,6 +431,7 @@ func mergeControlResults(results []*ControlResult) *ControlResult {
 	}
 	merged.TxPerPacket = txSum / float64(len(results))
 	merged.AvgDutyCycle = dutySum / float64(len(results))
+	merged.Events = events
 	if len(results) > 1 {
 		for k := range merged.Detail {
 			merged.Detail[k] /= float64(len(results))

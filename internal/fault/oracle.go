@@ -7,6 +7,7 @@ import (
 
 	"teleadjust/internal/core"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 )
 
 // OracleConfig carries the protocol bounds the invariants are checked
@@ -72,13 +73,15 @@ type opTrace struct {
 	feedbacks map[radio.NodeID]map[uint32]bool
 }
 
-// Oracle subscribes to the radio trace and per-node protocol state and
-// checks the paper's recovery invariants: path-code prefix consistency,
-// bounded forwarding (no loop beyond the diameter-derived hop budget),
-// backtracking within the retransmission bound, Re-Tele only after a
-// failed direct attempt (and only when enabled), and pending-operation
-// liveness. Attach with Medium.SetTraceFn(o.ObserveTrace); call Check
-// after each fault epoch and at end of run.
+// Oracle subscribes to the telemetry event stream and per-node protocol
+// state and checks the paper's recovery invariants: path-code prefix
+// consistency, bounded forwarding (no loop beyond the diameter-derived hop
+// budget), backtracking within the retransmission bound, Re-Tele only
+// after a failed direct attempt (and only when enabled), and
+// pending-operation liveness. Attach with
+// bus.Subscribe(o, telemetry.LayerRadio) — the same stream the traces and
+// figure aggregations read — and call Check after each fault epoch and at
+// end of run.
 type Oracle struct {
 	cfg OracleConfig
 
@@ -120,10 +123,13 @@ func (o *Oracle) violate(at time.Duration, inv, format string, args ...any) {
 	})
 }
 
-// ObserveTrace consumes one medium trace event. Only transmit starts
-// matter: the invariants constrain what nodes put on the air.
-func (o *Oracle) ObserveTrace(ev radio.TraceEvent) {
-	if ev.Kind != radio.TraceTxStart || ev.Frame == nil {
+var _ telemetry.Sink = (*Oracle)(nil)
+
+// Consume implements telemetry.Sink over the radio layer of the unified
+// event stream. Only transmit starts matter: the invariants constrain
+// what nodes put on the air.
+func (o *Oracle) Consume(ev telemetry.Event) {
+	if ev.Kind != telemetry.KindRadioTx || ev.Frame == nil {
 		return
 	}
 	switch p := ev.Frame.Payload.(type) {
@@ -152,7 +158,7 @@ func (o *Oracle) op(uid uint32, at time.Duration) *opTrace {
 	return ot
 }
 
-func (o *Oracle) observeControl(ev radio.TraceEvent, c *core.Control) {
+func (o *Oracle) observeControl(ev telemetry.Event, c *core.Control) {
 	ot := o.op(c.UID, ev.At)
 	ot.op = c.Op
 	if c.Detour {

@@ -7,6 +7,7 @@ import (
 
 	"teleadjust/internal/core"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 )
 
 func testOracle(rescue bool) *Oracle {
@@ -20,10 +21,13 @@ func testOracle(rescue bool) *Oracle {
 	})
 }
 
-func ctrlTx(src radio.NodeID, seq uint32, c *core.Control) radio.TraceEvent {
-	return radio.TraceEvent{
-		Kind:  radio.TraceTxStart,
+func ctrlTx(src radio.NodeID, seq uint32, c *core.Control) telemetry.Event {
+	return telemetry.Event{
+		Layer: telemetry.LayerRadio,
+		Kind:  telemetry.KindRadioTx,
 		Node:  src,
+		Src:   src,
+		Seq:   seq,
 		Frame: &radio.Frame{Kind: radio.FrameData, Src: src, Dst: radio.BroadcastID, Seq: seq, Payload: c},
 	}
 }
@@ -41,14 +45,14 @@ func TestOracleRetxBound(t *testing.T) {
 	o := testOracle(false)
 	// (RetryRounds+1)×(Backtracks+2) = 9 logical sends allowed per relay.
 	for seq := uint32(1); seq <= 9; seq++ {
-		o.ObserveTrace(ctrlTx(3, seq, &core.Control{UID: 1, Op: 1, Dst: 7}))
+		o.Consume(ctrlTx(3, seq, &core.Control{UID: 1, Op: 1, Dst: 7}))
 	}
 	// LPL stream copies reuse the link-layer seq: not a new logical send.
-	o.ObserveTrace(ctrlTx(3, 9, &core.Control{UID: 1, Op: 1, Dst: 7}))
+	o.Consume(ctrlTx(3, 9, &core.Control{UID: 1, Op: 1, Dst: 7}))
 	if hasViolation(o, "retx-bound") {
 		t.Fatalf("bound hit too early: %s", o.Summary())
 	}
-	o.ObserveTrace(ctrlTx(3, 10, &core.Control{UID: 1, Op: 1, Dst: 7}))
+	o.Consume(ctrlTx(3, 10, &core.Control{UID: 1, Op: 1, Dst: 7}))
 	if !hasViolation(o, "retx-bound") {
 		t.Fatal("10th distinct send from one relay not flagged")
 	}
@@ -60,11 +64,11 @@ func TestOracleRetxBound(t *testing.T) {
 func TestOracleHopBound(t *testing.T) {
 	o := testOracle(false)
 	// Default bound: 8 × 3 × 3 = 72.
-	o.ObserveTrace(ctrlTx(2, 1, &core.Control{UID: 4, Op: 4, Dst: 7, Hops: 72}))
+	o.Consume(ctrlTx(2, 1, &core.Control{UID: 4, Op: 4, Dst: 7, Hops: 72}))
 	if hasViolation(o, "hop-bound") {
 		t.Fatalf("bound hit at the limit: %s", o.Summary())
 	}
-	o.ObserveTrace(ctrlTx(2, 2, &core.Control{UID: 4, Op: 4, Dst: 7, Hops: 73}))
+	o.Consume(ctrlTx(2, 2, &core.Control{UID: 4, Op: 4, Dst: 7, Hops: 73}))
 	if !hasViolation(o, "hop-bound") {
 		t.Fatal("hop counter past bound not flagged")
 	}
@@ -73,30 +77,30 @@ func TestOracleHopBound(t *testing.T) {
 func TestOracleDetourDiscipline(t *testing.T) {
 	// A detour with rescue disabled is always a violation.
 	o := testOracle(false)
-	o.ObserveTrace(ctrlTx(0, 1, &core.Control{UID: 1, Op: 1, Dst: 7}))
-	o.ObserveTrace(ctrlTx(0, 2, &core.Control{UID: 2, Op: 1, Dst: 5, Detour: true}))
+	o.Consume(ctrlTx(0, 1, &core.Control{UID: 1, Op: 1, Dst: 7}))
+	o.Consume(ctrlTx(0, 2, &core.Control{UID: 2, Op: 1, Dst: 5, Detour: true}))
 	if !hasViolation(o, "retele-enabled") {
 		t.Fatal("detour with rescue disabled not flagged")
 	}
 
 	// Proper sequence: direct attempt first, then the detour referencing it.
 	o = testOracle(true)
-	o.ObserveTrace(ctrlTx(0, 1, &core.Control{UID: 1, Op: 1, Dst: 7}))
-	o.ObserveTrace(ctrlTx(0, 2, &core.Control{UID: 2, Op: 1, Dst: 5, Detour: true}))
+	o.Consume(ctrlTx(0, 1, &core.Control{UID: 1, Op: 1, Dst: 7}))
+	o.Consume(ctrlTx(0, 2, &core.Control{UID: 2, Op: 1, Dst: 5, Detour: true}))
 	if len(o.Violations()) != 0 {
 		t.Fatalf("legitimate rescue flagged: %s", o.Summary())
 	}
 
 	// Detour with no prior direct attempt on the air.
 	o = testOracle(true)
-	o.ObserveTrace(ctrlTx(0, 1, &core.Control{UID: 9, Op: 3, Dst: 5, Detour: true}))
+	o.Consume(ctrlTx(0, 1, &core.Control{UID: 9, Op: 3, Dst: 5, Detour: true}))
 	if !hasViolation(o, "retele-after-failure") {
 		t.Fatal("detour without prior attempt not flagged")
 	}
 
 	// Detour that is its own origin (Op == UID).
 	o = testOracle(true)
-	o.ObserveTrace(ctrlTx(0, 1, &core.Control{UID: 4, Op: 4, Dst: 5, Detour: true}))
+	o.Consume(ctrlTx(0, 1, &core.Control{UID: 4, Op: 4, Dst: 5, Detour: true}))
 	if !hasViolation(o, "retele-after-failure") {
 		t.Fatal("self-referential detour not flagged")
 	}
@@ -104,7 +108,7 @@ func TestOracleDetourDiscipline(t *testing.T) {
 
 func TestOracleCheckWithoutStateHooksIsClean(t *testing.T) {
 	o := testOracle(false)
-	o.ObserveTrace(ctrlTx(1, 1, &core.Control{UID: 1, Op: 1, Dst: 7}))
+	o.Consume(ctrlTx(1, 1, &core.Control{UID: 1, Op: 1, Dst: 7}))
 	if v := o.Check(); len(v) != 0 {
 		t.Fatalf("clean trace produced violations: %s", o.Summary())
 	}

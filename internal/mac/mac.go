@@ -13,6 +13,7 @@ import (
 
 	"teleadjust/internal/radio"
 	"teleadjust/internal/sim"
+	"teleadjust/internal/telemetry"
 )
 
 // Decision tells the MAC what to do with a received data frame.
@@ -179,6 +180,10 @@ type MAC struct {
 
 	dead  bool
 	stats Stats
+
+	// Telemetry (optional; a nil bus is valid and near-free).
+	bus        *telemetry.Bus
+	cancelling bool
 }
 
 type rxKey struct {
@@ -214,6 +219,38 @@ func (m *MAC) SetUpper(u Upper) { m.upper = u }
 
 // Stats returns a copy of the MAC statistics.
 func (m *MAC) Stats() Stats { return m.stats }
+
+// SetTelemetry binds the MAC statistics counters into the registry and
+// attaches the event bus for send-lifecycle emissions. Both may be nil.
+func (m *MAC) SetTelemetry(reg *telemetry.Registry, bus *telemetry.Bus) {
+	m.bus = bus
+	id := m.radio.ID()
+	reg.BindCounter(telemetry.LayerMAC, id, "sends-started", &m.stats.SendsStarted)
+	reg.BindCounter(telemetry.LayerMAC, id, "sends-acked", &m.stats.SendsAcked)
+	reg.BindCounter(telemetry.LayerMAC, id, "sends-failed", &m.stats.SendsFailed)
+	reg.BindCounter(telemetry.LayerMAC, id, "sends-broadcast", &m.stats.SendsBroadcast)
+	reg.BindCounter(telemetry.LayerMAC, id, "frame-tx", &m.stats.FrameTx)
+	reg.BindCounter(telemetry.LayerMAC, id, "acks-sent", &m.stats.AcksSent)
+	reg.BindCounter(telemetry.LayerMAC, id, "suppressed", &m.stats.Suppressed)
+}
+
+// emitMac publishes a MAC-layer event for the frame when anyone listens.
+// peer is the counterpart node (the acker for send outcomes, the election
+// winner for suppressions; BroadcastID when n/a).
+func (m *MAC) emitMac(kind telemetry.Kind, f *radio.Frame, peer radio.NodeID, note string) {
+	if !m.bus.Wants(telemetry.LayerMAC) {
+		return
+	}
+	ev := telemetry.Event{Layer: telemetry.LayerMAC, Kind: kind, Node: m.radio.ID(),
+		Src: peer, Note: note}
+	if f != nil {
+		ev.Dst, ev.Seq = f.Dst, f.Seq
+		if ids, ok := f.Payload.(telemetry.OpIdentified); ok {
+			ev.Op, ev.UID = ids.TelemetryIDs()
+		}
+	}
+	m.bus.Emit(ev)
+}
 
 // Dead reports whether Kill has been called.
 func (m *MAC) Dead() bool { return m.dead }
@@ -314,12 +351,15 @@ func (m *MAC) QueueLen() int { return len(m.queue) }
 // found.
 func (m *MAC) CancelSend(f *radio.Frame) bool {
 	if m.cur != nil && m.cur.frame == f {
+		m.cancelling = true
 		m.finishSend(radio.BroadcastID, true)
+		m.cancelling = false
 		return true
 	}
 	for i, q := range m.queue {
 		if q == f {
 			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.emitMac(telemetry.KindMacSendCancelled, f, radio.BroadcastID, "dequeued")
 			if m.upper != nil {
 				m.upper.OnSendDone(f, radio.BroadcastID, true)
 			}
@@ -343,6 +383,7 @@ func (m *MAC) kick() {
 		deadline: m.eng.Now() + m.cfg.WakeInterval + m.cfg.StreamSlack,
 	}
 	m.stats.SendsStarted++
+	m.emitMac(telemetry.KindMacSendStart, f, radio.BroadcastID, "")
 	m.awakeForTx = true
 	if !m.radio.On() {
 		m.radio.SetOn(true)
@@ -452,6 +493,18 @@ func (m *MAC) finishSend(acker radio.NodeID, ok bool) {
 	} else {
 		m.stats.SendsFailed++
 	}
+	if m.bus.Wants(telemetry.LayerMAC) {
+		kind := telemetry.KindMacSendFailed
+		switch {
+		case m.cancelling:
+			kind = telemetry.KindMacSendCancelled
+		case ok && m.expectsAck(cur.frame):
+			kind = telemetry.KindMacSendAcked
+		case ok:
+			kind = telemetry.KindMacSendBroadcastDone
+		}
+		m.emitMac(kind, cur.frame, acker, "")
+	}
 	up := m.upper
 	frame := cur.frame
 	m.kick()
@@ -491,6 +544,7 @@ func (m *MAC) onAck(f *radio.Frame) {
 		st.ackPending = nil
 		st.suppressed = true
 		m.stats.Suppressed++
+		m.emitMac(telemetry.KindMacSuppressed, st.frame, f.Src, "peer acked first")
 	}
 }
 
@@ -562,6 +616,7 @@ func (m *MAC) onData(f *radio.Frame) {
 				// channel: yield the election.
 				st.suppressed = true
 				m.stats.Suppressed++
+				m.emitMac(telemetry.KindMacSuppressed, f, radio.BroadcastID, "election yield")
 				m.earlySleep()
 				return
 			}

@@ -11,15 +11,22 @@ type TraceKind uint8
 
 // Trace event kinds.
 const (
+	// TraceUnknown is the zero kind; it is never emitted by the medium and
+	// names values outside the known set.
+	TraceUnknown TraceKind = iota
 	// TraceTxStart: a frame went on the air.
-	TraceTxStart TraceKind = iota + 1
+	TraceTxStart
 	// TraceRxOK: a receiver decoded the frame.
 	TraceRxOK
 	// TraceRxCorrupt: a locked receiver failed the SINR draw.
 	TraceRxCorrupt
 )
 
-// String names the kind.
+// TraceKinds is the full set of kinds the medium emits, for consumers
+// (like the telemetry bus) that map them without guessing the range.
+var TraceKinds = [...]TraceKind{TraceTxStart, TraceRxOK, TraceRxCorrupt}
+
+// String names the kind; values outside the set render as TraceUnknown.
 func (k TraceKind) String() string {
 	switch k {
 	case TraceTxStart:
@@ -28,8 +35,9 @@ func (k TraceKind) String() string {
 		return "rx-ok"
 	case TraceRxCorrupt:
 		return "rx-bad"
+	case TraceUnknown:
 	}
-	return "?"
+	return "unknown"
 }
 
 // TraceEvent is one medium-level event, reported as it happens.

@@ -73,6 +73,20 @@ func TestTraceRingDump(t *testing.T) {
 	}
 }
 
+func TestTraceKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range TraceKinds {
+		s := k.String()
+		if s == "unknown" || s == "" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if TraceUnknown.String() != "unknown" || TraceKind(99).String() != "unknown" {
+		t.Fatalf("fallback names wrong: %q / %q", TraceUnknown.String(), TraceKind(99).String())
+	}
+}
+
 func TestTraceDisabledByDefault(t *testing.T) {
 	eng := sim.NewEngine()
 	params := DefaultParams()

@@ -34,8 +34,13 @@ func (s *Series) Mean() float64 {
 	return sum / float64(len(s.vals))
 }
 
-// Min returns the smallest sample (+Inf for empty series).
+// Min returns the smallest sample. An empty series returns 0, matching
+// Mean and Stddev, so reports never print ±Inf; check Count to tell an
+// empty series from one whose minimum is genuinely zero.
 func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
 	m := math.Inf(1)
 	for _, v := range s.vals {
 		m = math.Min(m, v)
@@ -43,8 +48,11 @@ func (s *Series) Min() float64 {
 	return m
 }
 
-// Max returns the largest sample (-Inf for empty series).
+// Max returns the largest sample (0 for empty series; see Min).
 func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
 	m := math.Inf(-1)
 	for _, v := range s.vals {
 		m = math.Max(m, v)

@@ -28,8 +28,10 @@ func TestEmptySeries(t *testing.T) {
 	if s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 {
 		t.Fatal("empty series should return zeros")
 	}
-	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
-		t.Fatal("empty min/max should be infinities")
+	// Min/Max follow the same convention: an empty series must never leak
+	// ±Inf into a report (check Count to distinguish a genuine zero).
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("empty min/max = %v/%v, want 0/0", s.Min(), s.Max())
 	}
 }
 

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlEvent is the export schema: the Event scalars plus the layer and
+// kind spelled as stable strings. Field order is fixed by the struct, so
+// identical event streams marshal to identical bytes.
+type jsonlEvent struct {
+	Layer string `json:"layer"`
+	Kind  string `json:"kind"`
+	Event
+}
+
+// WriteJSONL writes one JSON object per event, in order. The encoding is
+// deterministic: identical streams produce identical bytes, which is what
+// the replication byte-identity regression rides on.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		ev := jsonlEvent{
+			Layer: events[i].Layer.String(),
+			Kind:  events[i].Kind.String(),
+			Event: events[i],
+		}
+		if err := enc.Encode(&ev); err != nil {
+			return fmt.Errorf("telemetry: event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"teleadjust/internal/radio"
+)
+
+// OpSpan is one control operation's reconstructed lifecycle: every event
+// sharing the operation id, grouped by wire attempt (the Re-Tele rescue
+// travels under a fresh UID within the same operation).
+type OpSpan struct {
+	Run int
+	Op  uint32
+	// Dst is the operation's true destination (from the issue event, or
+	// the first event naming one).
+	Dst       radio.NodeID
+	IssuedAt  time.Duration
+	Delivered bool
+	ResultOK  bool
+	HasResult bool
+	Latency   time.Duration
+	// Attempts holds the wire attempts in first-seen order.
+	Attempts []*OpAttempt
+	// Events is every event of the span in emission order.
+	Events []Event
+}
+
+// OpAttempt is one wire attempt (UID) of an operation.
+type OpAttempt struct {
+	UID    uint32
+	Detour bool
+	Events []Event
+}
+
+// BuildOpSpans reconstructs operation spans from an event stream. Events
+// without an operation id are skipped. Spans come back ordered by
+// (Run, first event index) so the output is deterministic.
+func BuildOpSpans(events []Event) []*OpSpan {
+	type key struct {
+		run int
+		op  uint32
+	}
+	idx := make(map[key]*OpSpan)
+	var order []*OpSpan
+	for _, ev := range events {
+		if ev.Op == 0 {
+			continue
+		}
+		k := key{run: ev.Run, op: ev.Op}
+		sp, ok := idx[k]
+		if !ok {
+			sp = &OpSpan{Run: ev.Run, Op: ev.Op, IssuedAt: ev.At}
+			idx[k] = sp
+			order = append(order, sp)
+		}
+		sp.Events = append(sp.Events, ev)
+		switch ev.Kind {
+		case KindOpIssue:
+			sp.IssuedAt = ev.At
+			sp.Dst = ev.Dst
+		case KindOpRescue:
+			// The detour target is ev.Dst; the true destination stands.
+		case KindOpConsume, KindOpDelivered:
+			sp.Delivered = true
+		case KindOpResult:
+			sp.HasResult = true
+			sp.ResultOK = ev.Value > 0
+			sp.Latency = ev.At - sp.IssuedAt
+		}
+		if sp.Dst == 0 && (ev.Kind == KindOpForward || ev.Kind == KindOpDelivered) {
+			sp.Dst = ev.Dst
+		}
+		// Events with no wire UID (the harness's uniform op.delivered
+		// notifications) belong to the span, not to any attempt.
+		uid := ev.UID
+		if uid == 0 {
+			continue
+		}
+		var at *OpAttempt
+		for _, a := range sp.Attempts {
+			if a.UID == uid {
+				at = a
+				break
+			}
+		}
+		if at == nil {
+			at = &OpAttempt{UID: uid}
+			sp.Attempts = append(sp.Attempts, at)
+		}
+		if ev.Kind == KindOpRescue || ev.Kind == KindOpDetourLeg {
+			at.Detour = true
+		}
+		at.Events = append(at.Events, ev)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Run != order[j].Run {
+			return order[i].Run < order[j].Run
+		}
+		return false // stable: keep first-seen order within a run
+	})
+	return order
+}
+
+// RenderOpSpans writes a human-readable span tree for every operation
+// matching the filter (nil renders all). Event times are printed relative
+// to the operation's issue time.
+func RenderOpSpans(w io.Writer, events []Event, match func(*OpSpan) bool) error {
+	spans := BuildOpSpans(events)
+	rendered := 0
+	for _, sp := range spans {
+		if match != nil && !match(sp) {
+			continue
+		}
+		rendered++
+		if err := renderSpan(w, sp); err != nil {
+			return err
+		}
+	}
+	if rendered == 0 {
+		_, err := fmt.Fprintln(w, "no matching operation spans")
+		return err
+	}
+	return nil
+}
+
+func renderSpan(w io.Writer, sp *OpSpan) error {
+	status := "unresolved"
+	switch {
+	case sp.HasResult && sp.ResultOK:
+		status = fmt.Sprintf("ok latency=%v", sp.Latency)
+	case sp.HasResult:
+		status = "FAILED"
+	case sp.Delivered:
+		status = "delivered (no e2e result)"
+	}
+	header := fmt.Sprintf("op %d → node %d  issued %v  %s", sp.Op, sp.Dst, sp.IssuedAt, status)
+	if sp.Run > 0 {
+		header = fmt.Sprintf("run %d  %s", sp.Run, header)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for _, at := range sp.Attempts {
+		label := fmt.Sprintf("  attempt uid=%d", at.UID)
+		if at.Detour {
+			label += " (re-tele detour)"
+		}
+		if _, err := fmt.Fprintln(w, label); err != nil {
+			return err
+		}
+		for _, ev := range at.Events {
+			if _, err := fmt.Fprintf(w, "    %+12v  node %-4d %-16s%s\n",
+				ev.At-sp.IssuedAt, ev.Node, ev.Kind, eventDetail(ev)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// eventDetail renders the kind-specific scalars of one span line.
+func eventDetail(ev Event) string {
+	s := ""
+	if ev.Dst != 0 && ev.Kind != KindRadioRxOK && ev.Kind != KindRadioRxCorrupt {
+		s += fmt.Sprintf(" dst=%d", ev.Dst)
+	}
+	if ev.Hops > 0 {
+		s += fmt.Sprintf(" hops=%d", ev.Hops)
+	}
+	switch ev.Kind {
+	case KindRadioRxOK, KindRadioRxCorrupt:
+		s += fmt.Sprintf(" src=%d sinr=%.1fdB", ev.Src, ev.Value)
+	case KindOpRetry:
+		s += fmt.Sprintf(" attempts-left=%.0f", ev.Value)
+	case KindOpResult:
+		if ev.Value > 0 {
+			s += " ok"
+		} else {
+			s += " failed"
+		}
+	case KindOpE2EAck:
+		s += fmt.Sprintf(" latency=%.3fs", ev.Value)
+	}
+	if ev.Note != "" {
+		s += " " + ev.Note
+	}
+	return s
+}
