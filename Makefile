@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test test-fault race fuzz bench check
+.PHONY: all build vet fmt-check lint test test-fault race fuzz test-fuzz bench bench-smoke check
 
 all: check
 
@@ -33,9 +33,9 @@ race:
 	$(GO) test -race ./internal/fault/... ./internal/experiment/...
 	$(GO) test -race ./...
 
-# Brief fuzz pass over each wire-codec target plus the fault-plan parser
-# (the committed corpora under */testdata/fuzz always run as part of
-# plain `go test`).
+# Brief fuzz pass over each wire-codec target, the fault-plan parser, and
+# the sink scheduler's subtree grouping key (the committed corpora under
+# */testdata/fuzz always run as part of plain `go test`).
 FUZZTIME ?= 5s
 fuzz:
 	@for t in FuzzDecodeCode FuzzUnmarshalExt FuzzUnmarshalControl \
@@ -44,8 +44,17 @@ fuzz:
 		$(GO) test ./internal/core/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/fault/ -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sink/ -run '^$$' -fuzz '^FuzzGroupKey$$' -fuzztime $(FUZZTIME)
+
+test-fuzz: fuzz
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# One-iteration smoke pass over the benchmarks that assert contracts (the
+# telemetry plane's disabled/traced split and the sink scheduler's
+# concurrency speedup) — fast enough for CI, still failing on regression.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkSinkSchedulerGoodput' -benchtime=1x .
 
 check: build vet fmt-check test

@@ -420,6 +420,38 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	b.Run("traced", bench(true))
 }
 
+// BenchmarkSinkSchedulerGoodput measures the sink command plane on the
+// 100-node reference grid: a closed-loop workload at 1-way and 8-way
+// concurrency. The asserted contract — 8-way goodput strictly above
+// sequential — is what justifies the scheduler's existence: pipelining
+// independent subtrees must buy real operation throughput, not just
+// queue depth. Reported metrics are the sweep's goodput levels and the
+// resulting speedup.
+func BenchmarkSinkSchedulerGoodput(b *testing.B) {
+	opts := experiment.DefaultThroughputOpts()
+	opts.Warmup = 4 * time.Minute
+	opts.Ops = 24
+	opts.Concurrency = []int{1, 8}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunThroughputStudy(
+			experiment.ReferenceGrid(1), experiment.ProtoTele, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seq, conc := res.Points[0], res.Points[1]
+		if seq.OK == 0 || conc.OK == 0 {
+			b.Fatalf("no completions: seq=%+v conc=%+v", seq, conc)
+		}
+		if conc.Goodput <= seq.Goodput {
+			b.Fatalf("8-way goodput %.4f ops/s does not beat sequential %.4f ops/s",
+				conc.Goodput, seq.Goodput)
+		}
+		b.ReportMetric(seq.Goodput, "ops/s-conc1")
+		b.ReportMetric(conc.Goodput, "ops/s-conc8")
+		b.ReportMetric(conc.Goodput/seq.Goodput, "x-speedup")
+	}
+}
+
 // BenchmarkAblationWakeInterval sweeps the LPL wake-up interval (the
 // paper fixes 512 ms) and reports the latency/energy trade-off.
 func BenchmarkAblationWakeInterval(b *testing.B) {

@@ -1,14 +1,18 @@
 // Command teleadjust-sim runs a single TeleAdjusting simulation scenario
-// and prints its metrics: either a coding study (path-code length,
-// convergence, reverse hops) or a control study (PDR, latency, duty cycle,
-// transmission counts) for one protocol. With -reps > 1 the study is
-// replicated over consecutive seeds and the replications run concurrently
-// on -parallel workers; the merged result is identical to a serial run.
+// and prints its metrics: a coding study (path-code length, convergence,
+// reverse hops), a control study (PDR, latency, duty cycle, transmission
+// counts) for one protocol, a scoped-dissemination study, or a throughput
+// study sweeping offered control load through the sink command plane.
+// With -reps > 1 the study is replicated over consecutive seeds and the
+// replications run concurrently on -parallel workers; the merged result
+// is identical to a serial run.
 //
 // Control studies can capture the unified telemetry stream: -trace
 // exports every operation-lifecycle event as JSONL (replication-merged,
 // byte-identical regardless of -parallel), and -trace-op renders the
-// per-operation span trees for one destination node to stdout.
+// per-operation span trees for one destination node to stdout. Throughput
+// studies export the sink-layer command-plane events through -trace and
+// the per-point sweep through -csv.
 //
 // Examples:
 //
@@ -17,12 +21,16 @@
 //	teleadjust-sim -scenario indoor -study control -proto rpl -reps 4 -parallel 4
 //	teleadjust-sim -scenario indoor -study control -proto retele -trace ops.jsonl
 //	teleadjust-sim -scenario indoor -study control -proto retele -trace-op 17
+//	teleadjust-sim -scenario refgrid -study throughput -conc 1,2,4,8 -ops 40
+//	teleadjust-sim -scenario refgrid -study throughput -workload open -rates 0.1,0.2,0.4 -csv sweep.csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"teleadjust/internal/experiment"
@@ -44,6 +52,172 @@ func writeTrace(path string, events []telemetry.Event) error {
 	return f.Close()
 }
 
+// cliConfig carries every parsed flag; validate checks the mutually
+// dependent combinations before any simulation work starts.
+type cliConfig struct {
+	scenario string
+	study    string
+	proto    string
+	dur      time.Duration
+	warmup   time.Duration
+	packets  int
+	interval time.Duration
+	seed     uint64
+	reps     int
+	parallel int
+	trace    string
+	traceOp  int
+	svg      string
+	plan     string
+
+	// Throughput-study knobs ("" / 0 = not specified).
+	workload string
+	rates    string
+	conc     string
+	ops      int
+	dist     string
+	window   int
+	csv      string
+}
+
+// validate fails fast on flag combinations that would otherwise be
+// silently ignored or crash mid-run.
+func (c *cliConfig) validate() error {
+	if c.reps < 1 {
+		return fmt.Errorf("-reps must be >= 1")
+	}
+	if c.parallel < 0 {
+		return fmt.Errorf("-parallel must be >= 0")
+	}
+	if c.parallel > 0 && c.reps == 1 {
+		return fmt.Errorf("-parallel only applies to replicated runs: combine it with -reps > 1")
+	}
+	if c.reps > 1 && c.svg != "" {
+		// The SVG hook instruments one network instance; with concurrent
+		// replications there is no single network to tap. The telemetry
+		// trace has no such restriction: each replication collects on its
+		// own bus and the merge is deterministic in seed order.
+		return fmt.Errorf("-svg requires -reps 1")
+	}
+	if c.packets < 1 {
+		return fmt.Errorf("-packets must be >= 1")
+	}
+	if c.interval <= 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+	if c.dur <= 0 {
+		return fmt.Errorf("-dur must be positive")
+	}
+	if c.warmup < 0 {
+		return fmt.Errorf("-warmup must be >= 0")
+	}
+	throughput := c.study == "throughput"
+	if c.trace != "" && c.study != "control" && !throughput {
+		return fmt.Errorf("-trace applies to control and throughput studies only")
+	}
+	if c.traceOp >= 0 && c.study != "control" {
+		return fmt.Errorf("-trace-op applies to control studies only")
+	}
+	if !throughput {
+		for flagName, set := range map[string]bool{
+			"-workload": c.workload != "",
+			"-rates":    c.rates != "",
+			"-conc":     c.conc != "",
+			"-ops":      c.ops != 0,
+			"-dist":     c.dist != "",
+			"-window":   c.window != 0,
+			"-csv":      c.csv != "",
+		} {
+			if set {
+				return fmt.Errorf("%s applies to throughput studies only (-study throughput)", flagName)
+			}
+		}
+		return nil
+	}
+	switch c.workload {
+	case "", "closed":
+		if c.rates != "" {
+			return fmt.Errorf("-rates applies to open-loop workloads only (-workload open)")
+		}
+	case "open":
+		if c.conc != "" {
+			return fmt.Errorf("-conc applies to closed-loop workloads only (-workload closed)")
+		}
+		if c.rates == "" {
+			return fmt.Errorf("an open-loop workload requires -rates (offered ops/s, comma-separated)")
+		}
+	default:
+		return fmt.Errorf("unknown workload mode %q: closed or open", c.workload)
+	}
+	if c.ops < 0 {
+		return fmt.Errorf("-ops must be >= 1")
+	}
+	if c.window < 0 {
+		return fmt.Errorf("-window must be >= 1")
+	}
+	return nil
+}
+
+// parseConcurrency parses a comma-separated list of positive ints.
+func parseConcurrency(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad concurrency level %q: want positive integers", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseRates parses a comma-separated list of positive rates (ops/s).
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q: want positive ops/s", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// throughputOpts assembles the study options from validated flags.
+func (c *cliConfig) throughputOpts() (experiment.ThroughputOpts, error) {
+	opts := experiment.DefaultThroughputOpts()
+	opts.Warmup = c.warmup
+	opts.Trace = c.trace != ""
+	if c.workload != "" {
+		opts.Mode = c.workload
+	}
+	if c.ops > 0 {
+		opts.Ops = c.ops
+	}
+	if c.dist != "" {
+		opts.Dist = c.dist
+	}
+	if c.window > 0 {
+		opts.Window = c.window
+	}
+	if c.conc != "" {
+		levels, err := parseConcurrency(c.conc)
+		if err != nil {
+			return opts, err
+		}
+		opts.Concurrency = levels
+	}
+	if c.rates != "" {
+		rates, err := parseRates(c.rates)
+		if err != nil {
+			return opts, err
+		}
+		opts.Rates = rates
+	}
+	return opts, nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "teleadjust-sim:", err)
@@ -52,47 +226,43 @@ func main() {
 }
 
 func run() error {
-	var (
-		scenario  = flag.String("scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi")
-		study     = flag.String("study", "control", "study: coding, control, scope")
-		proto     = flag.String("proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
-		dur       = flag.Duration("dur", 8*time.Minute, "coding study duration")
-		warmup    = flag.Duration("warmup", 4*time.Minute, "control study warmup")
-		packets   = flag.Int("packets", 40, "control packets to send")
-		interval  = flag.Duration("interval", 15*time.Second, "inter-packet interval")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		reps      = flag.Int("reps", 1, "independent replications over consecutive seeds")
-		parallel  = flag.Int("parallel", 0, "replication workers (0 = GOMAXPROCS)")
-		tracePath = flag.String("trace", "", "write the telemetry event stream as JSONL to this file (control study)")
-		traceOp   = flag.Int("trace-op", -1, "render operation span traces for this destination node (control study)")
-		svgPath   = flag.String("svg", "", "write the converged topology/tree/codes as SVG to this file")
-		planPath  = flag.String("faultplan", "", "JSON fault plan scheduled on every replication (see EXPERIMENTS.md)")
-	)
+	var c cliConfig
+	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid")
+	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput")
+	flag.StringVar(&c.proto, "proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
+	flag.DurationVar(&c.dur, "dur", 8*time.Minute, "coding study duration")
+	flag.DurationVar(&c.warmup, "warmup", 4*time.Minute, "study warmup")
+	flag.IntVar(&c.packets, "packets", 40, "control packets to send")
+	flag.DurationVar(&c.interval, "interval", 15*time.Second, "inter-packet interval")
+	flag.Uint64Var(&c.seed, "seed", 1, "simulation seed")
+	flag.IntVar(&c.reps, "reps", 1, "independent replications over consecutive seeds")
+	flag.IntVar(&c.parallel, "parallel", 0, "replication workers (0 = GOMAXPROCS; requires -reps > 1)")
+	flag.StringVar(&c.trace, "trace", "", "write the telemetry event stream as JSONL to this file (control/throughput study)")
+	flag.IntVar(&c.traceOp, "trace-op", -1, "render operation span traces for this destination node (control study)")
+	flag.StringVar(&c.svg, "svg", "", "write the converged topology/tree/codes as SVG to this file")
+	flag.StringVar(&c.plan, "faultplan", "", "JSON fault plan scheduled on every replication (see EXPERIMENTS.md)")
+	flag.StringVar(&c.workload, "workload", "", "throughput loop discipline: closed (default) or open")
+	flag.StringVar(&c.rates, "rates", "", "open-loop offered rates in ops/s, comma-separated (e.g. 0.1,0.2,0.4)")
+	flag.StringVar(&c.conc, "conc", "", "closed-loop concurrency levels, comma-separated (default 1,2,4,8)")
+	flag.IntVar(&c.ops, "ops", 0, "control operations per throughput load point (default 40)")
+	flag.StringVar(&c.dist, "dist", "", "throughput destinations: uniform (default), hotspot, depth")
+	flag.IntVar(&c.window, "window", 0, "open-loop admission window (default 8)")
+	flag.StringVar(&c.csv, "csv", "", "write the throughput sweep as CSV to this file")
 	flag.Parse()
 
-	tracing := *tracePath != "" || *traceOp >= 0
-	if *reps < 1 {
-		return fmt.Errorf("-reps must be >= 1")
+	if err := c.validate(); err != nil {
+		return err
 	}
-	if *reps > 1 && *svgPath != "" {
-		// The SVG hook instruments one network instance; with concurrent
-		// replications there is no single network to tap. The telemetry
-		// trace has no such restriction: each replication collects on its
-		// own bus and the merge is deterministic in seed order.
-		return fmt.Errorf("-svg requires -reps 1")
-	}
-	if tracing && *study != "control" {
-		return fmt.Errorf("-trace and -trace-op apply to control studies only")
-	}
+
 	var plan *fault.Plan
-	if *planPath != "" {
-		p, err := fault.LoadPlan(*planPath)
+	if c.plan != "" {
+		p, err := fault.LoadPlan(c.plan)
 		if err != nil {
 			return err
 		}
 		plan = p
 	}
-	scn, err := pickScenario(*scenario, *seed)
+	scn, err := pickScenario(c.scenario, c.seed)
 	if err != nil {
 		return err
 	}
@@ -105,12 +275,12 @@ func run() error {
 			prevHook(net)
 		}
 	}
-	if *svgPath != "" {
+	if c.svg != "" {
 		defer func() {
 			if builtNet == nil {
 				return
 			}
-			f, err := os.Create(*svgPath)
+			f, err := os.Create(c.svg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "svg:", err)
 				return
@@ -120,48 +290,48 @@ func run() error {
 				fmt.Fprintln(os.Stderr, "svg:", err)
 				return
 			}
-			fmt.Printf("topology SVG written to %s\n", *svgPath)
+			fmt.Printf("topology SVG written to %s\n", c.svg)
 		}()
 	}
 
-	seeds := make([]uint64, *reps)
+	seeds := make([]uint64, c.reps)
 	for i := range seeds {
-		seeds[i] = *seed + uint64(i)
+		seeds[i] = c.seed + uint64(i)
 	}
 	build := func(s uint64) experiment.Scenario {
-		b, _ := pickScenario(*scenario, s)
+		b, _ := pickScenario(c.scenario, s)
 		b.Fault = plan
 		return b
 	}
-	rep := experiment.Replicator{Workers: *parallel}
+	rep := experiment.Replicator{Workers: c.parallel}
 
-	switch *study {
+	switch c.study {
 	case "coding":
-		if *reps == 1 {
-			res, err := experiment.RunCodingStudy(scn, *dur)
+		if c.reps == 1 {
+			res, err := experiment.RunCodingStudy(scn, c.dur)
 			if err != nil {
 				return err
 			}
 			experiment.WriteCodingReport(os.Stdout, res)
 			return nil
 		}
-		res, err := rep.CodingStudy(build, *dur, seeds)
+		res, err := rep.CodingStudy(build, c.dur, seeds)
 		if err != nil {
 			return err
 		}
 		experiment.WriteCodingReport(os.Stdout, res)
 	case "control":
-		p, err := pickProto(*proto)
+		p, err := pickProto(c.proto)
 		if err != nil {
 			return err
 		}
 		opts := experiment.DefaultControlOpts()
-		opts.Warmup = *warmup
-		opts.Packets = *packets
-		opts.Interval = *interval
-		opts.Trace = tracing
+		opts.Warmup = c.warmup
+		opts.Packets = c.packets
+		opts.Interval = c.interval
+		opts.Trace = c.trace != "" || c.traceOp >= 0
 		var res *experiment.ControlResult
-		if *reps == 1 {
+		if c.reps == 1 {
 			res, err = experiment.RunControlStudy(scn, p, opts)
 		} else {
 			res, err = rep.ControlStudy(build, p, opts, seeds)
@@ -170,32 +340,71 @@ func run() error {
 			return err
 		}
 		experiment.WriteControlReport(os.Stdout, res)
-		if *tracePath != "" {
-			if err := writeTrace(*tracePath, res.Events); err != nil {
+		if c.trace != "" {
+			if err := writeTrace(c.trace, res.Events); err != nil {
 				return err
 			}
-			fmt.Printf("\n%d telemetry events written to %s\n", len(res.Events), *tracePath)
+			fmt.Printf("\n%d telemetry events written to %s\n", len(res.Events), c.trace)
 		}
-		if *traceOp >= 0 {
-			dst := radio.NodeID(*traceOp)
+		if c.traceOp >= 0 {
+			dst := radio.NodeID(c.traceOp)
 			fmt.Printf("\n--- operation spans to node %d ---\n", dst)
 			telemetry.RenderOpSpans(os.Stdout, res.Events, func(s *telemetry.OpSpan) bool {
 				return s.Dst == dst
 			})
 		}
+	case "throughput":
+		p, err := pickProto(c.proto)
+		if err != nil {
+			return err
+		}
+		opts, err := c.throughputOpts()
+		if err != nil {
+			return err
+		}
+		var res *experiment.ThroughputResult
+		if c.reps == 1 {
+			res, err = experiment.RunThroughputStudy(scn, p, opts)
+		} else {
+			res, err = rep.ThroughputStudy(build, p, opts, seeds)
+		}
+		if err != nil {
+			return err
+		}
+		experiment.WriteThroughputReport(os.Stdout, res)
+		if c.csv != "" {
+			f, err := os.Create(c.csv)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteThroughputCSV(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("\nthroughput sweep written to %s\n", c.csv)
+		}
+		if c.trace != "" {
+			if err := writeTrace(c.trace, res.Events); err != nil {
+				return err
+			}
+			fmt.Printf("\n%d telemetry events written to %s\n", len(res.Events), c.trace)
+		}
 	case "scope":
-		if *reps > 1 {
+		if c.reps > 1 {
 			return fmt.Errorf("the scope study does not support -reps")
 		}
 		opts := experiment.DefaultScopeOpts()
-		opts.Warmup = *warmup
+		opts.Warmup = c.warmup
 		res, err := experiment.RunScopeStudy(scn, opts)
 		if err != nil {
 			return err
 		}
 		experiment.WriteScopeReport(os.Stdout, res)
 	default:
-		return fmt.Errorf("unknown study %q", *study)
+		return fmt.Errorf("unknown study %q", c.study)
 	}
 	return nil
 }
@@ -210,6 +419,8 @@ func pickScenario(name string, seed uint64) (experiment.Scenario, error) {
 		return experiment.Indoor(seed, false), nil
 	case "indoor-wifi":
 		return experiment.Indoor(seed, true), nil
+	case "refgrid":
+		return experiment.ReferenceGrid(seed), nil
 	}
 	return experiment.Scenario{}, fmt.Errorf("unknown scenario %q", name)
 }

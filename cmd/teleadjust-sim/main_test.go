@@ -1,0 +1,164 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// baseConfig mirrors the flag defaults.
+func baseConfig() cliConfig {
+	return cliConfig{
+		scenario: "indoor",
+		study:    "control",
+		proto:    "tele",
+		dur:      8 * time.Minute,
+		warmup:   4 * time.Minute,
+		packets:  40,
+		interval: 15 * time.Second,
+		seed:     1,
+		reps:     1,
+		traceOp:  -1,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	c := baseConfig()
+	if err := c.validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*cliConfig)
+		wantSub string
+	}{
+		{"reps zero", func(c *cliConfig) { c.reps = 0 }, "-reps"},
+		{"reps negative", func(c *cliConfig) { c.reps = -3 }, "-reps"},
+		{"parallel without reps", func(c *cliConfig) { c.parallel = 4 }, "-parallel"},
+		{"parallel negative", func(c *cliConfig) { c.parallel = -1 }, "-parallel"},
+		{"svg with reps", func(c *cliConfig) { c.reps = 4; c.svg = "out.svg" }, "-svg"},
+		{"packets zero", func(c *cliConfig) { c.packets = 0 }, "-packets"},
+		{"interval zero", func(c *cliConfig) { c.interval = 0 }, "-interval"},
+		{"dur zero", func(c *cliConfig) { c.dur = 0 }, "-dur"},
+		{"warmup negative", func(c *cliConfig) { c.warmup = -time.Second }, "-warmup"},
+		{"trace on coding", func(c *cliConfig) { c.study = "coding"; c.trace = "x.jsonl" }, "-trace"},
+		{"trace-op on throughput", func(c *cliConfig) { c.study = "throughput"; c.traceOp = 3 }, "-trace-op"},
+		{"workload outside throughput", func(c *cliConfig) { c.workload = "closed" }, "-workload"},
+		{"rates outside throughput", func(c *cliConfig) { c.rates = "0.2" }, "-rates"},
+		{"conc outside throughput", func(c *cliConfig) { c.conc = "1,2" }, "-conc"},
+		{"ops outside throughput", func(c *cliConfig) { c.ops = 10 }, "-ops"},
+		{"dist outside throughput", func(c *cliConfig) { c.dist = "uniform" }, "-dist"},
+		{"window outside throughput", func(c *cliConfig) { c.window = 4 }, "-window"},
+		{"csv outside throughput", func(c *cliConfig) { c.csv = "x.csv" }, "-csv"},
+		{"rates with closed loop", func(c *cliConfig) { c.study = "throughput"; c.rates = "0.2" }, "-rates"},
+		{"conc with open loop", func(c *cliConfig) {
+			c.study = "throughput"
+			c.workload = "open"
+			c.rates = "0.2"
+			c.conc = "1,2"
+		}, "-conc"},
+		{"open loop without rates", func(c *cliConfig) { c.study = "throughput"; c.workload = "open" }, "-rates"},
+		{"unknown workload", func(c *cliConfig) { c.study = "throughput"; c.workload = "bursty" }, "workload"},
+	}
+	for _, tc := range cases {
+		c := baseConfig()
+		tc.mutate(&c)
+		err := c.validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestValidateAcceptsThroughputCombos(t *testing.T) {
+	closed := baseConfig()
+	closed.study = "throughput"
+	closed.conc = "1,2,4,8"
+	closed.ops = 40
+	closed.dist = "hotspot"
+	closed.csv = "sweep.csv"
+	if err := closed.validate(); err != nil {
+		t.Fatalf("closed-loop combo rejected: %v", err)
+	}
+	open := baseConfig()
+	open.study = "throughput"
+	open.workload = "open"
+	open.rates = "0.1,0.2,0.4"
+	open.window = 16
+	open.trace = "events.jsonl"
+	if err := open.validate(); err != nil {
+		t.Fatalf("open-loop combo rejected: %v", err)
+	}
+	// Standalone -trace-op on a control study is a documented usage.
+	traced := baseConfig()
+	traced.traceOp = 17
+	if err := traced.validate(); err != nil {
+		t.Fatalf("standalone -trace-op rejected: %v", err)
+	}
+	replicated := baseConfig()
+	replicated.reps = 4
+	replicated.parallel = 4
+	if err := replicated.validate(); err != nil {
+		t.Fatalf("replicated run rejected: %v", err)
+	}
+}
+
+func TestParseConcurrency(t *testing.T) {
+	got, err := parseConcurrency("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseConcurrency = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseConcurrency(bad); err == nil {
+			t.Errorf("parseConcurrency(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := parseRates("0.1,0.25, 2")
+	if err != nil || len(got) != 3 || got[0] != 0.1 || got[1] != 0.25 || got[2] != 2 {
+		t.Fatalf("parseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-0.5", "x"} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestThroughputOptsFromFlags(t *testing.T) {
+	c := baseConfig()
+	c.study = "throughput"
+	c.workload = "open"
+	c.rates = "0.1,0.4"
+	c.ops = 25
+	c.dist = "depth"
+	c.window = 12
+	c.warmup = 2 * time.Minute
+	opts, err := c.throughputOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Mode != "open" || len(opts.Rates) != 2 || opts.Ops != 25 ||
+		opts.Dist != "depth" || opts.Window != 12 || opts.Warmup != 2*time.Minute {
+		t.Fatalf("opts = %+v", opts)
+	}
+	// Defaults survive when the knobs are left unset.
+	d := baseConfig()
+	d.study = "throughput"
+	opts, err = d.throughputOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Mode != "closed" || len(opts.Concurrency) != 4 || opts.Ops != 40 {
+		t.Fatalf("default opts = %+v", opts)
+	}
+}

@@ -110,6 +110,14 @@ func (e *Engine) KnowsCode(dst radio.NodeID) bool {
 	return ok
 }
 
+// DstCode returns the registered path code of dst without copying the
+// whole registry, for callers (like the sink command plane's subtree
+// grouping) that resolve codes per operation.
+func (e *Engine) DstCode(dst radio.NodeID) (PathCode, bool) {
+	info, ok := e.registry[dst]
+	return info.Code, ok
+}
+
 // resolveAck completes a pending operation on the end-to-end ack.
 func (e *Engine) resolveAck(ack *E2EAck) {
 	p, ok := e.pending[ack.UID]

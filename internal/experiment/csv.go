@@ -97,6 +97,36 @@ func WriteControlCSV(w io.Writer, res *ControlResult) error {
 	return cw.Error()
 }
 
+// WriteThroughputCSV exports a throughput sweep, one row per load point:
+// the offered-load vs goodput curve with latency percentiles and the
+// command plane's loss accounting.
+func WriteThroughputCSV(w io.Writer, res *ThroughputResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"protocol", "scenario", "mode", "dist", "point",
+		"ops", "ok", "failed", "unroutable", "rejected", "expired", "retries", "unresolved",
+		"offered_ops_s", "goodput_ops_s", "lat_p50_s", "lat_p95_s", "lat_p99_s", "wait_mean_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, pt := range res.Points {
+		rec := []string{res.Proto, res.Scenario, res.Mode, res.Dist, pt.Label,
+			strconv.Itoa(pt.Ops), strconv.Itoa(pt.OK), strconv.Itoa(pt.Failed),
+			strconv.Itoa(pt.Unroutable), strconv.Itoa(pt.Rejected), strconv.Itoa(pt.Expired),
+			strconv.Itoa(pt.Retries), strconv.Itoa(pt.Unresolved),
+			f(pt.Offered), f(pt.Goodput),
+			f(pt.Latency.P50()), f(pt.Latency.P95()), f(pt.Latency.P99()), f(pt.QueueWait.Mean())}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("throughput csv: %w", err)
+	}
+	return nil
+}
+
 // WriteCodingCSV exports a coding study's per-hop series.
 func WriteCodingCSV(w io.Writer, res *CodingResult) error {
 	cw := csv.NewWriter(w)

@@ -81,6 +81,28 @@ func WriteComparisonSummary(w io.Writer, results []*ControlResult) {
 	}
 }
 
+// WriteThroughputReport renders a throughput sweep: offered load vs
+// goodput and latency percentiles per load point, plus the command
+// plane's loss accounting.
+func WriteThroughputReport(w io.Writer, res *ThroughputResult) {
+	fmt.Fprintf(w, "=== Throughput study: %s on %s (%s loop, %s destinations) ===\n",
+		res.Proto, res.Scenario, res.Mode, res.Dist)
+	fmt.Fprintf(w, "%-10s %8s %9s %9s %8s %8s %8s %9s\n",
+		"point", "ops", "offered", "goodput", "lat-p50", "lat-p95", "lat-p99", "wait-mean")
+	for _, pt := range res.Points {
+		fmt.Fprintf(w, "%-10s %8d %8.3f/s %8.3f/s %7.2fs %7.2fs %7.2fs %8.2fs\n",
+			pt.Label, pt.Ops, pt.Offered, pt.Goodput,
+			pt.Latency.P50(), pt.Latency.P95(), pt.Latency.P99(), pt.QueueWait.Mean())
+	}
+	fmt.Fprintln(w, "\nloss accounting per point:")
+	fmt.Fprintf(w, "%-10s %6s %6s %8s %8s %8s %8s %8s\n",
+		"point", "ok", "fail", "unroute", "reject", "expire", "retries", "pending")
+	for _, pt := range res.Points {
+		fmt.Fprintf(w, "%-10s %6d %6d %8d %8d %8d %8d %8d\n",
+			pt.Label, pt.OK, pt.Failed, pt.Unroutable, pt.Rejected, pt.Expired, pt.Retries, pt.Unresolved)
+	}
+}
+
 // WriteScopeReport renders a scoped-dissemination study.
 func WriteScopeReport(w io.Writer, res *ScopeStudyResult) {
 	fmt.Fprintf(w, "=== Scoped dissemination: %s ===\n", res.Scenario)

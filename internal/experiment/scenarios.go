@@ -64,6 +64,31 @@ func TightGrid(seed uint64) Scenario {
 	}
 }
 
+// ReferenceGrid is the 100-node reference scenario for command-plane
+// throughput studies: a 10×10 jittered grid over 130 m × 130 m with the
+// sink at the centre, using the same "high gain" radio calibration as
+// TightGrid (~32 m range), giving a dense 3–4-hop network that converges
+// quickly enough for load sweeps across many fresh networks.
+func ReferenceGrid(seed uint64) Scenario {
+	params := radio.DefaultParams()
+	params.RefLossDB = 35
+	c := ctp.DefaultConfig()
+	c.HelpBeaconDelta = 6
+	c.CostChangeDelta = 3
+	return Scenario{
+		Name:      "ref-grid-100",
+		Dep:       topology.Grid("ref-grid-100", 10, 10, 130, 130, true, topology.Point{X: 65, Y: 65}, seed),
+		Radio:     params,
+		Mac:       mac.DefaultConfig(),
+		Ctp:       c,
+		Tele:      core.DefaultConfig(),
+		Drip:      drip.DefaultConfig(),
+		Rpl:       rpl.DefaultConfig(),
+		NoiseSeed: seed ^ 0x77,
+		Seed:      seed,
+	}
+}
+
 // SparseLinear is the 225-node 60 m × 600 m "low gain" field: RefLoss
 // 42 dB shrinks the range to ~21 m, stretching the network to tens of
 // hops along the long axis.

@@ -1,0 +1,77 @@
+package sink
+
+import (
+	"strings"
+	"testing"
+
+	"teleadjust/internal/core"
+)
+
+// codeFromFuzzBytes maps an arbitrary byte slice onto a valid path code:
+// each byte contributes one bit (low bit), capped at MaxCodeBits.
+func codeFromFuzzBytes(raw []byte) core.PathCode {
+	if len(raw) > core.MaxCodeBits {
+		raw = raw[:core.MaxCodeBits]
+	}
+	var sb strings.Builder
+	for _, b := range raw {
+		if b&1 == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return core.MustCode(sb.String())
+}
+
+// FuzzGroupKey pins the grouping-key contract the scheduler's subtree
+// serialization depends on: the key is a deterministic prefix of the
+// code, and two codes share a key exactly when their common prefix
+// covers both truncation lengths.
+func FuzzGroupKey(f *testing.F) {
+	f.Add([]byte{}, []byte{}, 0)
+	f.Add([]byte{1, 0, 1, 1}, []byte{1, 0, 1, 0}, 3)
+	f.Add([]byte{1, 0, 1, 1}, []byte{1, 0, 1, 0}, 4)
+	f.Add([]byte{0, 1}, []byte{0, 1, 1, 1, 0}, 6)
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, []byte{1, 1}, -2)
+	f.Add([]byte{0}, []byte{}, 1)
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, bits int) {
+		a := codeFromFuzzBytes(rawA)
+		b := codeFromFuzzBytes(rawB)
+		keyA := GroupKey(a, bits)
+		keyB := GroupKey(b, bits)
+
+		// Determinism: same inputs, same key.
+		if again := GroupKey(a, bits); again != keyA {
+			t.Fatalf("GroupKey not deterministic: %q then %q", keyA, again)
+		}
+
+		// The key is the rendering of a prefix of the code.
+		wantLen := a.Len()
+		if bits > 0 && bits < wantLen {
+			wantLen = bits
+		}
+		if keyA != a.Prefix(wantLen).String() {
+			t.Fatalf("GroupKey(%v, %d) = %q, want prefix of length %d (%q)",
+				a, bits, keyA, wantLen, a.Prefix(wantLen).String())
+		}
+
+		// Equivalence contract: keys collide exactly when the longest
+		// common prefix covers both truncation lengths.
+		lenA, lenB := a.Len(), b.Len()
+		if bits > 0 {
+			if lenA > bits {
+				lenA = bits
+			}
+			if lenB > bits {
+				lenB = bits
+			}
+		}
+		sameKey := keyA == keyB
+		wantSame := lenA == lenB && a.CommonPrefixLen(b) >= lenA
+		if sameKey != wantSame {
+			t.Fatalf("GroupKey(%v)=%q GroupKey(%v)=%q bits=%d: collide=%v, contract says %v",
+				a, keyA, b, keyB, bits, sameKey, wantSame)
+		}
+	})
+}

@@ -1,0 +1,27 @@
+package sink
+
+import "teleadjust/internal/core"
+
+// GroupKey returns the subtree scheduling key of a destination path code:
+// the code's leading min(bits, code length) bits rendered as a '0'/'1'
+// string. Operations whose destination codes map to the same key traverse
+// the same depth-limited subtree of the code tree, so the scheduler
+// serializes (or caps) them against each other instead of letting them
+// contend for the same branch of the collection tree.
+//
+// bits <= 0 disables truncation: the key is the full code, i.e. one group
+// per encoded path. The empty code (destination without a code) renders
+// as "ε", a key of its own.
+//
+// The key is an equivalence class, so it approximates subtree identity:
+// two codes share a key exactly when their longest common prefix covers
+// both truncation lengths — min(len(a), bits) == min(len(b), bits) and
+// CommonPrefixLen(a, b) reaches it. An ancestor whose own code is shorter
+// than bits therefore keys separately from its deep descendants; the
+// fuzz target pins this contract.
+func GroupKey(code core.PathCode, bits int) string {
+	if bits > 0 && code.Len() > bits {
+		code = code.Prefix(bits)
+	}
+	return code.String()
+}

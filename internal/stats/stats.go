@@ -96,6 +96,15 @@ func (s *Series) Percentile(p float64) float64 {
 	return sorted[rank]
 }
 
+// P50 returns the median by nearest-rank (0 for empty series).
+func (s *Series) P50() float64 { return s.Percentile(50) }
+
+// P95 returns the 95th percentile by nearest-rank (0 for empty series).
+func (s *Series) P95() float64 { return s.Percentile(95) }
+
+// P99 returns the 99th percentile by nearest-rank (0 for empty series).
+func (s *Series) P99() float64 { return s.Percentile(99) }
+
 // Values returns a copy of the samples.
 func (s *Series) Values() []float64 {
 	out := make([]float64, len(s.vals))

@@ -61,6 +61,38 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileHelpers(t *testing.T) {
+	var s Series
+	for i := 1; i <= 200; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.P50(); got != 100 {
+		t.Fatalf("P50 = %v, want 100", got)
+	}
+	if got := s.P95(); got != 190 {
+		t.Fatalf("P95 = %v, want 190", got)
+	}
+	if got := s.P99(); got != 198 {
+		t.Fatalf("P99 = %v, want 198", got)
+	}
+}
+
+func TestPercentileHelpersEmpty(t *testing.T) {
+	var s Series
+	if s.P50() != 0 || s.P95() != 0 || s.P99() != 0 {
+		t.Fatalf("empty percentiles = %v/%v/%v, want zeros", s.P50(), s.P95(), s.P99())
+	}
+}
+
+func TestPercentileHelpersSingleElement(t *testing.T) {
+	var s Series
+	s.Add(42.5)
+	// Every percentile of a one-sample series is that sample.
+	if s.P50() != 42.5 || s.P95() != 42.5 || s.P99() != 42.5 {
+		t.Fatalf("single-element percentiles = %v/%v/%v, want 42.5", s.P50(), s.P95(), s.P99())
+	}
+}
+
 func TestByKey(t *testing.T) {
 	b := NewByKey()
 	b.Add(2, 10)

@@ -44,8 +44,12 @@ const (
 	// LayerRun events are emitted by the experiment harness itself
 	// (uniform per-protocol delivery notifications, phase markers).
 	LayerRun
+	// LayerSink events trace the sink command plane's queueing decisions:
+	// enqueue, admission, retry re-queues, and final completion of each
+	// scheduled control operation.
+	LayerSink
 
-	numLayers = 4
+	numLayers = 5
 )
 
 // String names the layer.
@@ -59,6 +63,8 @@ func (l Layer) String() string {
 		return "core"
 	case LayerRun:
 		return "run"
+	case LayerSink:
+		return "sink"
 	}
 	return "layer?"
 }
@@ -100,6 +106,16 @@ const (
 	KindOpResult     // operation resolved at the sink (Value 1 ok, 0 fail)
 	KindOpDelivered  // uniform cross-protocol delivery notification
 	KindOpUnroutable // dispatch refused: no route/code for destination
+
+	// Sink command-plane layer. Seq carries the scheduler ticket, which
+	// identifies the queued operation across its whole lifecycle (the
+	// protocol Op/UID only exist once the op is admitted and dispatched).
+	KindSinkEnqueue  // operation entered the command queue
+	KindSinkAdmit    // admission window opened; Value = queue wait (s)
+	KindSinkRetry    // failed attempt re-queued; Value = attempts so far
+	KindSinkComplete // operation resolved (Value 1 ok, 0 fail)
+	KindSinkReject   // queue full; operation refused at submit
+	KindSinkExpire   // per-op budget exhausted while still queued
 )
 
 // String names the kind.
@@ -155,6 +171,18 @@ func (k Kind) String() string {
 		return "op.delivered"
 	case KindOpUnroutable:
 		return "op.unroutable"
+	case KindSinkEnqueue:
+		return "sink.enqueue"
+	case KindSinkAdmit:
+		return "sink.admit"
+	case KindSinkRetry:
+		return "sink.retry"
+	case KindSinkComplete:
+		return "sink.complete"
+	case KindSinkReject:
+		return "sink.reject"
+	case KindSinkExpire:
+		return "sink.expire"
 	}
 	return "unknown"
 }

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+	"teleadjust/internal/sink"
+)
+
+// fakeSub resolves every submitted op after a fixed latency and records
+// the peak number outstanding.
+type fakeSub struct {
+	eng         *sim.Engine
+	latency     time.Duration
+	inflight    int
+	maxInflight int
+	submitted   []radio.NodeID
+	tickets     uint32
+}
+
+func (f *fakeSub) Submit(dst radio.NodeID, app any, done func(sink.Outcome)) (uint32, error) {
+	f.tickets++
+	t := f.tickets
+	f.inflight++
+	if f.inflight > f.maxInflight {
+		f.maxInflight = f.inflight
+	}
+	f.submitted = append(f.submitted, dst)
+	start := f.eng.Now()
+	f.eng.Schedule(f.latency, func() {
+		f.inflight--
+		done(sink.Outcome{Ticket: t, Dst: dst, OK: true, Attempts: 1,
+			EnqueuedAt: start, AdmittedAt: start, Admitted: true, DoneAt: f.eng.Now()})
+	})
+	return t, nil
+}
+
+func nodeRange(lo, hi int) []radio.NodeID {
+	var out []radio.NodeID
+	for i := lo; i <= hi; i++ {
+		out = append(out, radio.NodeID(i))
+	}
+	return out
+}
+
+func TestClosedLoopHoldsConcurrency(t *testing.T) {
+	eng := sim.NewEngine()
+	sub := &fakeSub{eng: eng, latency: time.Second}
+	gen := NewClosedLoop(eng, sub, Uniform(nodeRange(1, 9)), sim.NewRNG(7), 4, 20)
+	gen.Start()
+	if err := eng.RunAll(100000); err != nil {
+		t.Fatal(err)
+	}
+	if !gen.Done() || len(gen.Outcomes()) != 20 {
+		t.Fatalf("done=%v outcomes=%d", gen.Done(), len(gen.Outcomes()))
+	}
+	if sub.maxInflight != 4 {
+		t.Fatalf("peak outstanding = %d, want 4", sub.maxInflight)
+	}
+	// 20 ops at 1 s each over width 4 = 5 s of service.
+	if gen.FinishedAt() != 5*time.Second {
+		t.Fatalf("finished at %v, want 5s", gen.FinishedAt())
+	}
+}
+
+func TestOpenLoopOffersIndependentOfCompletions(t *testing.T) {
+	eng := sim.NewEngine()
+	// Service is far slower than offered rate: open loop must still push
+	// all arrivals out on schedule.
+	sub := &fakeSub{eng: eng, latency: time.Minute}
+	gen := NewOpenLoop(eng, sub, Uniform(nodeRange(1, 9)), sim.NewRNG(7), 2.0, 15)
+	gen.Start()
+	if err := eng.RunAll(100000); err != nil {
+		t.Fatal(err)
+	}
+	if !gen.Done() || len(gen.Outcomes()) != 15 {
+		t.Fatalf("done=%v outcomes=%d", gen.Done(), len(gen.Outcomes()))
+	}
+	if sub.maxInflight < 10 {
+		t.Fatalf("peak outstanding = %d; open loop throttled by completions", sub.maxInflight)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	run := func(open bool) []radio.NodeID {
+		eng := sim.NewEngine()
+		sub := &fakeSub{eng: eng, latency: 3 * time.Second}
+		var gen Generator
+		dist := DepthWeighted(nodeRange(1, 20), func(id radio.NodeID) int { return int(id) % 5 })
+		if open {
+			gen = NewOpenLoop(eng, sub, dist, sim.DeriveRNG(42, 1), 1.5, 30)
+		} else {
+			gen = NewClosedLoop(eng, sub, dist, sim.DeriveRNG(42, 1), 3, 30)
+		}
+		gen.Start()
+		if err := eng.RunAll(100000); err != nil {
+			t.Fatal(err)
+		}
+		return sub.submitted
+	}
+	for _, open := range []bool{false, true} {
+		a, b := run(open), run(open)
+		if len(a) != len(b) {
+			t.Fatalf("open=%v: submitted %d vs %d", open, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("open=%v: destination %d differs: %d vs %d", open, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	nodes := nodeRange(1, 20)
+	hot := nodeRange(1, 2)
+	dist := Hotspot(nodes, hot, 0.8)
+	rng := sim.NewRNG(11)
+	hits := 0
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		id := dist.Pick(rng)
+		if id <= 2 {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if frac < 0.7 || frac > 0.9 {
+		t.Fatalf("hot fraction = %.3f, want ≈ 0.8", frac)
+	}
+}
+
+func TestUniformCoversAllNodes(t *testing.T) {
+	nodes := nodeRange(1, 6)
+	dist := Uniform(nodes)
+	rng := sim.NewRNG(3)
+	seen := map[radio.NodeID]int{}
+	for i := 0; i < 600; i++ {
+		seen[dist.Pick(rng)]++
+	}
+	for _, id := range nodes {
+		if seen[id] == 0 {
+			t.Fatalf("node %d never drawn", id)
+		}
+	}
+}
+
+func TestDepthWeightedFavorsDeepNodes(t *testing.T) {
+	nodes := nodeRange(1, 10)
+	// Node 10 is 9 hops deep, node 1 is adjacent to the sink.
+	dist := Dist(DepthWeighted(nodes, func(id radio.NodeID) int { return int(id) - 1 }))
+	rng := sim.NewRNG(5)
+	counts := map[radio.NodeID]int{}
+	for i := 0; i < 5000; i++ {
+		counts[dist.Pick(rng)]++
+	}
+	if counts[10] <= counts[2]*2 {
+		t.Fatalf("deep node drew %d, shallow node %d: depth weighting ineffective", counts[10], counts[2])
+	}
+}
