@@ -33,14 +33,15 @@ race:
 	$(GO) test -race ./internal/fault/... ./internal/experiment/...
 	$(GO) test -race ./...
 
-# Brief fuzz pass over each wire-codec target, the fault-plan parser, and
-# the sink scheduler's subtree grouping key (the committed corpora under
-# */testdata/fuzz always run as part of plain `go test`).
+# Brief fuzz pass over each wire-codec target, the codec-allocator
+# invariant target, the fault-plan parser, and the sink scheduler's subtree
+# grouping key (the committed corpora under */testdata/fuzz always run as
+# part of plain `go test`).
 FUZZTIME ?= 5s
 fuzz:
 	@for t in FuzzDecodeCode FuzzUnmarshalExt FuzzUnmarshalControl \
 		FuzzUnmarshalFeedback FuzzUnmarshalCodeReport FuzzUnmarshalE2EAck \
-		FuzzControlEncode FuzzExtEncode; do \
+		FuzzControlEncode FuzzExtEncode FuzzExtEncodeLabels FuzzCodecLabels; do \
 		$(GO) test ./internal/core/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/fault/ -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME)

@@ -1,11 +1,16 @@
 // Command teleadjust-sim runs a single TeleAdjusting simulation scenario
 // and prints its metrics: a coding study (path-code length, convergence,
 // reverse hops), a control study (PDR, latency, duty cycle, transmission
-// counts) for one protocol, a scoped-dissemination study, or a throughput
-// study sweeping offered control load through the sink command plane.
+// counts) for one protocol, a scoped-dissemination study, a throughput
+// study sweeping offered control load through the sink command plane, or
+// a coding-schemes study comparing tree-coding codecs side by side.
 // With -reps > 1 the study is replicated over consecutive seeds and the
 // replications run concurrently on -parallel workers; the merged result
 // is identical to a serial run.
+//
+// TeleAdjusting variants accept -codec to swap the tree-coding scheme
+// (paper, treeexplorer, huffman); the coding-schemes study instead sweeps
+// the -codecs list over one or more -scenario entries (comma-separated).
 //
 // Control studies can capture the unified telemetry stream: -trace
 // exports every operation-lifecycle event as JSONL (replication-merged,
@@ -23,6 +28,8 @@
 //	teleadjust-sim -scenario indoor -study control -proto retele -trace-op 17
 //	teleadjust-sim -scenario refgrid -study throughput -conc 1,2,4,8 -ops 40
 //	teleadjust-sim -scenario refgrid -study throughput -workload open -rates 0.1,0.2,0.4 -csv sweep.csv
+//	teleadjust-sim -scenario indoor -study control -proto retele -codec huffman
+//	teleadjust-sim -scenario refgrid,sparse -study coding-schemes -csv codecs.csv
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"teleadjust/internal/core"
 	"teleadjust/internal/experiment"
 	"teleadjust/internal/fault"
 	"teleadjust/internal/radio"
@@ -58,6 +66,9 @@ type cliConfig struct {
 	scenario string
 	study    string
 	proto    string
+	codec    string
+	codecs   string
+	joins    int
 	dur      time.Duration
 	warmup   time.Duration
 	packets  int
@@ -112,11 +123,45 @@ func (c *cliConfig) validate() error {
 		return fmt.Errorf("-warmup must be >= 0")
 	}
 	throughput := c.study == "throughput"
+	schemes := c.study == "coding-schemes"
 	if c.trace != "" && c.study != "control" && !throughput {
 		return fmt.Errorf("-trace applies to control and throughput studies only")
 	}
 	if c.traceOp >= 0 && c.study != "control" {
 		return fmt.Errorf("-trace-op applies to control studies only")
+	}
+	if c.codec != "" {
+		if schemes {
+			return fmt.Errorf("-codec conflicts with -study coding-schemes: use -codecs to pick the compared schemes")
+		}
+		if _, err := core.CodecByName(c.codec); err != nil {
+			return err
+		}
+		if c.proto == "drip" || c.proto == "rpl" {
+			return fmt.Errorf("-codec applies to TeleAdjusting variants only, not -proto %s", c.proto)
+		}
+	}
+	if c.codecs != "" && !schemes {
+		return fmt.Errorf("-codecs applies to coding-schemes studies only (-study coding-schemes)")
+	}
+	if c.joins >= 0 && !schemes {
+		return fmt.Errorf("-joins applies to coding-schemes studies only (-study coding-schemes)")
+	}
+	if c.joins < -1 { // -1 is the unset default
+		return fmt.Errorf("-joins must be >= 0")
+	}
+	if schemes {
+		for _, name := range splitList(c.codecs) {
+			if _, err := core.CodecByName(name); err != nil {
+				return err
+			}
+		}
+		if c.svg != "" {
+			// The study builds one network per (scenario, codec) cell; no
+			// single topology represents the run.
+			return fmt.Errorf("-svg does not apply to coding-schemes studies")
+		}
+		return nil
 	}
 	if !throughput {
 		for flagName, set := range map[string]bool{
@@ -129,6 +174,9 @@ func (c *cliConfig) validate() error {
 			"-csv":      c.csv != "",
 		} {
 			if set {
+				if flagName == "-csv" {
+					return fmt.Errorf("-csv applies to throughput and coding-schemes studies only")
+				}
 				return fmt.Errorf("%s applies to throughput studies only (-study throughput)", flagName)
 			}
 		}
@@ -156,6 +204,17 @@ func (c *cliConfig) validate() error {
 		return fmt.Errorf("-window must be >= 1")
 	}
 	return nil
+}
+
+// splitList splits a comma-separated flag value, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseConcurrency parses a comma-separated list of positive ints.
@@ -228,8 +287,11 @@ func main() {
 func run() error {
 	var c cliConfig
 	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid")
-	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput")
+	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput, coding-schemes")
 	flag.StringVar(&c.proto, "proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
+	flag.StringVar(&c.codec, "codec", "", "tree-coding scheme for TeleAdjusting variants: "+strings.Join(core.CodecNames(), ", "))
+	flag.StringVar(&c.codecs, "codecs", "", "coding-schemes study: comma-separated codecs to compare (default all)")
+	flag.IntVar(&c.joins, "joins", -1, "coding-schemes study: mid-probe crash-reboots per codec (default 3)")
 	flag.DurationVar(&c.dur, "dur", 8*time.Minute, "coding study duration")
 	flag.DurationVar(&c.warmup, "warmup", 4*time.Minute, "study warmup")
 	flag.IntVar(&c.packets, "packets", 40, "control packets to send")
@@ -262,11 +324,15 @@ func run() error {
 		}
 		plan = p
 	}
+	if c.study == "coding-schemes" {
+		return runCodingSchemes(&c, plan)
+	}
 	scn, err := pickScenario(c.scenario, c.seed)
 	if err != nil {
 		return err
 	}
 	scn.Fault = plan
+	scn.Codec = c.codec
 	var builtNet *experiment.Net
 	prevHook := scn.OnNetBuilt
 	scn.OnNetBuilt = func(net *experiment.Net) {
@@ -301,6 +367,7 @@ func run() error {
 	build := func(s uint64) experiment.Scenario {
 		b, _ := pickScenario(c.scenario, s)
 		b.Fault = plan
+		b.Codec = c.codec
 		return b
 	}
 	rep := experiment.Replicator{Workers: c.parallel}
@@ -405,6 +472,67 @@ func run() error {
 		experiment.WriteScopeReport(os.Stdout, res)
 	default:
 		return fmt.Errorf("unknown study %q", c.study)
+	}
+	return nil
+}
+
+// runCodingSchemes sweeps the codec list over every scenario in the
+// comma-separated -scenario value, printing one comparison per scenario
+// and optionally exporting all rows to one CSV file.
+func runCodingSchemes(c *cliConfig, plan *fault.Plan) error {
+	codecs := splitList(c.codecs)
+	if len(codecs) == 0 {
+		codecs = core.CodecNames()
+	}
+	opts := experiment.DefaultCodingSchemesOpts()
+	opts.Warmup = c.warmup
+	opts.Packets = c.packets
+	opts.Interval = c.interval
+	if c.joins >= 0 {
+		opts.Joins = c.joins
+	}
+	scenarios := splitList(c.scenario)
+	if len(scenarios) == 0 {
+		return fmt.Errorf("-scenario must name at least one scenario")
+	}
+	seeds := make([]uint64, c.reps)
+	for i := range seeds {
+		seeds[i] = c.seed + uint64(i)
+	}
+	rep := experiment.Replicator{Workers: c.parallel}
+	var results []*experiment.CodingSchemesResult
+	for i, name := range scenarios {
+		if _, err := pickScenario(name, c.seed); err != nil {
+			return err
+		}
+		build := func(s uint64) experiment.Scenario {
+			b, _ := pickScenario(name, s)
+			b.Fault = plan
+			return b
+		}
+		res, err := rep.CodingSchemesStudy(build, codecs, opts, seeds)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		experiment.WriteCodingSchemesReport(os.Stdout, res)
+		results = append(results, res)
+	}
+	if c.csv != "" {
+		f, err := os.Create(c.csv)
+		if err != nil {
+			return err
+		}
+		if err := experiment.WriteCodingSchemesCSV(f, results...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ncodec comparison written to %s\n", c.csv)
 	}
 	return nil
 }

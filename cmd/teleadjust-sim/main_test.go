@@ -19,6 +19,7 @@ func baseConfig() cliConfig {
 		seed:     1,
 		reps:     1,
 		traceOp:  -1,
+		joins:    -1,
 	}
 }
 
@@ -62,6 +63,15 @@ func TestValidateRejections(t *testing.T) {
 		}, "-conc"},
 		{"open loop without rates", func(c *cliConfig) { c.study = "throughput"; c.workload = "open" }, "-rates"},
 		{"unknown workload", func(c *cliConfig) { c.study = "throughput"; c.workload = "bursty" }, "workload"},
+		{"unknown codec", func(c *cliConfig) { c.codec = "morse" }, "codec"},
+		{"codec with drip", func(c *cliConfig) { c.codec = "huffman"; c.proto = "drip" }, "-codec"},
+		{"codec with rpl", func(c *cliConfig) { c.codec = "paper"; c.proto = "rpl" }, "-codec"},
+		{"codec with coding-schemes", func(c *cliConfig) { c.study = "coding-schemes"; c.codec = "paper" }, "-codecs"},
+		{"codecs outside coding-schemes", func(c *cliConfig) { c.codecs = "paper,huffman" }, "-codecs"},
+		{"joins outside coding-schemes", func(c *cliConfig) { c.joins = 2 }, "-joins"},
+		{"joins below unset sentinel", func(c *cliConfig) { c.study = "coding-schemes"; c.joins = -2 }, "-joins"},
+		{"unknown codec in codecs list", func(c *cliConfig) { c.study = "coding-schemes"; c.codecs = "paper,morse" }, "codec"},
+		{"svg with coding-schemes", func(c *cliConfig) { c.study = "coding-schemes"; c.svg = "out.svg" }, "-svg"},
 	}
 	for _, tc := range cases {
 		c := baseConfig()
@@ -107,6 +117,33 @@ func TestValidateAcceptsThroughputCombos(t *testing.T) {
 	replicated.parallel = 4
 	if err := replicated.validate(); err != nil {
 		t.Fatalf("replicated run rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsCodecCombos(t *testing.T) {
+	// -codec with every TeleAdjusting variant.
+	for _, proto := range []string{"tele", "retele", "strict", "teleadjust"} {
+		c := baseConfig()
+		c.proto = proto
+		c.codec = "treeexplorer"
+		if err := c.validate(); err != nil {
+			t.Errorf("-codec with -proto %s rejected: %v", proto, err)
+		}
+	}
+	// The coding-schemes study with its own knobs.
+	s := baseConfig()
+	s.study = "coding-schemes"
+	s.codecs = "paper, huffman"
+	s.joins = 0
+	s.csv = "codecs.csv"
+	if err := s.validate(); err != nil {
+		t.Fatalf("coding-schemes combo rejected: %v", err)
+	}
+	if got := splitList(s.codecs); len(got) != 2 || got[0] != "paper" || got[1] != "huffman" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Fatalf("splitList(\"\") = %v, want nil", got)
 	}
 }
 

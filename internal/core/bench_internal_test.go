@@ -46,6 +46,35 @@ func BenchmarkExtend(b *testing.B) {
 	}
 }
 
+func BenchmarkCommonPrefixLen(b *testing.B) {
+	// Two ~200-bit codes diverging only in their final position: the deep
+	// shared prefix is what the byte-wise fast path is for (whole-byte XOR
+	// compares instead of a per-bit loop).
+	base := RootCode()
+	for base.Len() < 200 {
+		next, err := base.Extend(uint16(1+base.Len()%3), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base = next
+	}
+	left, err := base.Extend(1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	right, err := base.Extend(2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if left.CommonPrefixLen(right) != base.Len() {
+			b.Fatal("wrong common prefix length")
+		}
+	}
+}
+
 func BenchmarkMarshalControl(b *testing.B) {
 	c := &Control{UID: 1, Op: 1, Dst: 9, DstCode: MustCode("001010110010101"), Expected: 3, Hops: 4}
 	b.ReportAllocs()

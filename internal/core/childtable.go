@@ -8,11 +8,14 @@ import (
 )
 
 // ChildEntry is one row of the child node table (Table I in the paper):
-// the child's identity, its allocated position in the parent's bit space,
-// and whether the child has confirmed the allocation.
+// the child's identity, its allocated position in the parent's label
+// space, its current bit label (only populated by non-positional codecs —
+// Algorithm 1's children derive their label from position and width), and
+// whether the child has confirmed the allocation.
 type ChildEntry struct {
 	Child     radio.NodeID
 	Position  uint16
+	Label     PathCode
 	Confirmed bool
 }
 
@@ -47,29 +50,42 @@ func TightReserve(n int) int {
 	return n
 }
 
-// ChildTable is a parent node's position-allocation state. Positions are
-// 1-based: the all-zeros pattern is never allocated (Figure 2 allocates 01
-// and 10 from a 2-bit space), so a parent's own code is never confusable
-// with a child pattern.
+// ChildTable is a parent node's position-allocation state. It owns the
+// identity and confirmation bookkeeping of Algorithms 1–2 and delegates
+// the actual label-space decisions (widths, positions, bit labels) to the
+// codec's Allocator. Positions are 1-based: position 0 is never allocated
+// by any codec, so a parent's own code is never confusable with a child
+// pattern.
 type ChildTable struct {
-	entries   map[radio.NodeID]*ChildEntry
-	pending   map[radio.NodeID]bool // discovered but not yet allocated
-	spaceBits int                   // π; 0 until initial allocation
-	reserve   ReservePolicy
+	entries map[radio.NodeID]*ChildEntry
+	pending map[radio.NodeID]bool // discovered but not yet allocated
+	codec   Codec
+	alloc   Allocator
 }
 
-// NewChildTable creates an empty table with the given reserve policy (nil
-// means DefaultReserve).
+// NewChildTable creates an empty table running the paper codec
+// (Algorithm 1) with the given reserve policy (nil means DefaultReserve).
 func NewChildTable(policy ReservePolicy) *ChildTable {
-	if policy == nil {
-		policy = DefaultReserve
+	return NewChildTableWithCodec(nil, policy)
+}
+
+// NewChildTableWithCodec creates an empty table running the given codec
+// (nil means the paper codec) and reserve policy (nil means
+// DefaultReserve).
+func NewChildTableWithCodec(codec Codec, policy ReservePolicy) *ChildTable {
+	if codec == nil {
+		codec = PaperCodec()
 	}
 	return &ChildTable{
 		entries: make(map[radio.NodeID]*ChildEntry),
 		pending: make(map[radio.NodeID]bool),
-		reserve: policy,
+		codec:   codec,
+		alloc:   codec.NewAllocator(policy),
 	}
 }
+
+// Codec returns the table's coding scheme.
+func (t *ChildTable) Codec() Codec { return t.codec }
 
 // Observe records a discovered child before initial allocation. It reports
 // whether the child is new.
@@ -85,10 +101,11 @@ func (t *ChildTable) Observe(child radio.NodeID) bool {
 }
 
 // Allocated reports whether initial allocation has run.
-func (t *ChildTable) Allocated() bool { return t.spaceBits > 0 }
+func (t *ChildTable) Allocated() bool { return t.alloc.Allocated() }
 
-// SpaceBits returns π, the current bit-space width (0 before allocation).
-func (t *ChildTable) SpaceBits() int { return t.spaceBits }
+// SpaceBits returns π, the current label-space width put on beacons
+// (0 before allocation).
+func (t *ChildTable) SpaceBits() int { return t.alloc.SpaceBits() }
 
 // Len returns the number of allocated children.
 func (t *ChildTable) Len() int { return len(t.entries) }
@@ -96,29 +113,18 @@ func (t *ChildTable) Len() int { return len(t.entries) }
 // PendingLen returns the number of discovered-but-unallocated children.
 func (t *ChildTable) PendingLen() int { return len(t.pending) }
 
-// AllocateInitial runs Algorithm 1: size the bit space for the discovered
-// children plus reserve, then deterministically allocate positions in
-// ascending child-id order. It is an error to call it twice.
+// AllocateInitial runs the codec's initial allocation (Algorithm 1 for the
+// paper codec): size the label space for the discovered children plus
+// reserve, then deterministically allocate positions 1..n in ascending
+// child-id order. It is an error to call it twice.
 func (t *ChildTable) AllocateInitial() error {
 	if t.Allocated() {
 		return fmt.Errorf("core: initial allocation already done")
 	}
 	n := len(t.pending)
-	chi := t.reserve(n)
-	if chi < n {
-		// Every discovered child gets a position regardless of what the
-		// reserve policy says; the space must fit them all.
-		chi = n
+	if err := t.alloc.AllocateInitial(n); err != nil {
+		return err
 	}
-	if chi < 1 {
-		chi = 1
-	}
-	// Positions are 1..2^π−1: find the smallest π that fits χ positions.
-	pi := 1
-	for (1<<pi)-1 < chi {
-		pi++
-	}
-	t.spaceBits = pi
 	ids := make([]radio.NodeID, 0, n)
 	for id := range t.pending {
 		ids = append(ids, id)
@@ -128,49 +134,53 @@ func (t *ChildTable) AllocateInitial() error {
 		t.entries[id] = &ChildEntry{Child: id, Position: uint16(i + 1)}
 		delete(t.pending, id)
 	}
+	t.refreshLabels()
 	return nil
 }
 
-// nextFree returns the lowest unallocated position, or 0 when full.
-func (t *ChildTable) nextFree() uint16 {
-	used := make(map[uint16]bool, len(t.entries))
-	for _, e := range t.entries {
-		used[e.Position] = true
+// refreshLabels pulls the allocator's current labels into the entries
+// (non-positional codecs only — Algorithm 1's labels live implicitly in
+// (position, SpaceBits) and are never attached to entries, keeping the
+// paper codec's wire image unchanged). An entry whose label changed is
+// unconfirmed so the new label re-rides beacons until the child re-acks.
+func (t *ChildTable) refreshLabels() {
+	if t.codec.Positional() {
+		return
 	}
-	for p := uint16(1); int(p) < 1<<t.spaceBits; p++ {
-		if !used[p] {
-			return p
+	for _, e := range t.entries {
+		l, err := t.alloc.Label(e.Position)
+		if err != nil {
+			continue
+		}
+		if !l.Equal(e.Label) {
+			e.Label = l
+			e.Confirmed = false
 		}
 	}
-	return 0
 }
 
 // Request handles a position request from a child (Algorithm 2, the
-// ID ∉ S branch): allocate a free position, extending the space by one bit
-// when full. It reports the allocated position and whether the space was
-// extended. The entry starts unconfirmed. Requests from known children
+// ID ∉ S branch): allocate a free position, growing the label space when
+// full. It reports the allocated position and whether the allocation
+// changed already-published state — a space extension for the paper codec,
+// a relabel for variable-length codecs — which the caller must
+// re-announce. The entry starts unconfirmed. Requests from known children
 // return their existing position.
-func (t *ChildTable) Request(child radio.NodeID) (pos uint16, extended bool, err error) {
+func (t *ChildTable) Request(child radio.NodeID) (pos uint16, relabel bool, err error) {
 	if !t.Allocated() {
 		return 0, false, fmt.Errorf("core: request before initial allocation")
 	}
 	if e, ok := t.entries[child]; ok {
 		return e.Position, false, nil
 	}
-	p := t.nextFree()
-	if p == 0 {
-		// Space extension: widen by one bit; existing positions are
-		// unchanged (children re-encode them with the wider width).
-		t.spaceBits++
-		extended = true
-		p = t.nextFree()
-		if p == 0 {
-			return 0, extended, fmt.Errorf("core: no free position after extension")
-		}
+	p, relabel, err := t.alloc.Add()
+	if err != nil {
+		return 0, relabel, err
 	}
 	delete(t.pending, child)
 	t.entries[child] = &ChildEntry{Child: child, Position: p}
-	return p, extended, nil
+	t.refreshLabels()
+	return p, relabel, nil
 }
 
 // ConfirmOutcome describes the result of processing a child's announced
@@ -190,15 +200,15 @@ const (
 
 // Confirm processes a child's beacon announcing position p (Algorithm 2).
 // For ConfirmReallocated/ConfirmNew, newPos is the allocation to
-// acknowledge back; extended reports a space extension.
-func (t *ChildTable) Confirm(child radio.NodeID, p uint16) (out ConfirmOutcome, newPos uint16, extended bool, err error) {
+// acknowledge back; relabel reports a space extension or relabel.
+func (t *ChildTable) Confirm(child radio.NodeID, p uint16) (out ConfirmOutcome, newPos uint16, relabel bool, err error) {
 	if !t.Allocated() {
 		return 0, 0, false, fmt.Errorf("core: confirm before initial allocation")
 	}
 	e, ok := t.entries[child]
 	if !ok {
-		newPos, extended, err = t.Request(child)
-		return ConfirmNew, newPos, extended, err
+		newPos, relabel, err = t.Request(child)
+		return ConfirmNew, newPos, relabel, err
 	}
 	if e.Position == p {
 		e.Confirmed = true
@@ -220,8 +230,20 @@ func (t *ChildTable) SetConfirmed(child radio.NodeID, p uint16) bool {
 	return true
 }
 
-// Remove drops a child (e.g. it switched parents).
+// Unconfirm resets a child's confirmation flag (the parent detected the
+// child holds a stale label and must re-adopt).
+func (t *ChildTable) Unconfirm(child radio.NodeID) {
+	if e, ok := t.entries[child]; ok {
+		e.Confirmed = false
+	}
+}
+
+// Remove drops a child (e.g. it switched parents), freeing its position
+// for reuse.
 func (t *ChildTable) Remove(child radio.NodeID) {
+	if e, ok := t.entries[child]; ok {
+		t.alloc.Release(e.Position)
+	}
 	delete(t.entries, child)
 	delete(t.pending, child)
 }
@@ -232,6 +254,31 @@ func (t *ChildTable) Position(child radio.NodeID) uint16 {
 		return e.Position
 	}
 	return 0
+}
+
+// LabelOf returns the child's current bit label (empty for positional
+// codecs and unknown children).
+func (t *ChildTable) LabelOf(child radio.NodeID) PathCode {
+	if e, ok := t.entries[child]; ok {
+		return e.Label
+	}
+	return PathCode{}
+}
+
+// SetWeight feeds a subtree-size estimate for a child into the codec.
+// Weight-sensitive codecs (huffman) may relabel, reported as true; the
+// changed labels are already refreshed into the entries (and unconfirmed)
+// on return.
+func (t *ChildTable) SetWeight(child radio.NodeID, weight int) bool {
+	e, ok := t.entries[child]
+	if !ok {
+		return false
+	}
+	if !t.alloc.SetWeight(e.Position, weight) {
+		return false
+	}
+	t.refreshLabels()
+	return true
 }
 
 // Entries returns allocated entries sorted by child id (a stable view for

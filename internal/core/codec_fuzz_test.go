@@ -1,0 +1,76 @@
+package core
+
+// Fuzz test for the codec seam: whatever op sequence arrives, no allocator
+// may panic, hand out a colliding position, or break the prefix-free label
+// invariant the forwarding plane depends on. Seed inputs live both in
+// f.Add calls and in the committed corpus under testdata/fuzz/FuzzCodecLabels/.
+
+import "testing"
+
+// nthLive returns the i-th (mod size) live position in ascending order —
+// a deterministic way to turn a fuzz byte into a victim position.
+func nthLive(live map[uint16]bool, i int) uint16 {
+	ids := sortedPositions(live)
+	return ids[i%len(ids)]
+}
+
+// FuzzCodecLabels drives one registered codec's allocator through an
+// arbitrary join/leave/weight-churn sequence, re-checking the seam's
+// invariants (via checkLabelInvariants) after every op.
+func FuzzCodecLabels(f *testing.F) {
+	f.Add(uint8(0), uint8(3), []byte{0x00, 0x41, 0x82, 0x10})
+	f.Add(uint8(1), uint8(1), []byte{0x00, 0x00, 0x01, 0x81, 0x02})
+	f.Add(uint8(2), uint8(5), []byte{0x40, 0xC2, 0x00, 0x23, 0x07, 0xFF})
+	f.Fuzz(func(t *testing.T, codecSel, initial uint8, ops []byte) {
+		names := CodecNames()
+		codec, err := CodecByName(names[int(codecSel)%len(names)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc := codec.NewAllocator(nil)
+		n := int(initial % 16)
+		if err := alloc.AllocateInitial(n); err != nil {
+			t.Fatal(err)
+		}
+		live := map[uint16]bool{}
+		for p := 1; p <= n; p++ {
+			live[uint16(p)] = true
+		}
+		if len(ops) > 96 {
+			ops = ops[:96] // bound the per-exec cost of the O(n²) prefix check
+		}
+		parent := RootCode()
+		for _, op := range ops {
+			switch op & 3 {
+			case 0, 1: // join
+				if len(live) >= 64 {
+					continue
+				}
+				pos, _, err := alloc.Add()
+				if err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+				if pos == 0 || live[pos] {
+					t.Fatalf("Add returned invalid position %d", pos)
+				}
+				live[pos] = true
+			case 2: // leave
+				if len(live) == 0 {
+					continue
+				}
+				pos := nthLive(live, int(op>>2))
+				alloc.Release(pos)
+				delete(live, pos)
+				if _, err := alloc.Label(pos); err == nil {
+					t.Fatalf("Label of released position %d succeeded", pos)
+				}
+			case 3: // subtree-size estimate churn
+				if len(live) == 0 {
+					continue
+				}
+				alloc.SetWeight(nthLive(live, int(op>>5)), 1+int(op>>2))
+			}
+			checkLabelInvariants(t, alloc, parent, live, codec.Positional())
+		}
+	})
+}

@@ -41,6 +41,8 @@ func (e *Engine) onParentChange(old, new radio.NodeID) {
 	}
 	e.position = 0
 	e.havePosition = false
+	e.label = PathCode{}
+	e.haveLabel = false
 	e.haveParent = false
 	if !e.haveCode {
 		e.haveEligibleAt = false // the clock restarts with the new parent
@@ -106,6 +108,52 @@ func (e *Engine) onBeacon(from radio.NodeID, b *ctp.Beacon) {
 			e.children.Remove(from)
 		}
 	}
+	if !e.codecPositional {
+		e.observeGrandchild(from, ext.Parent)
+	}
+}
+
+// observeGrandchild tracks which of my children each overheard neighbor
+// sits under (its beacon names its parent), maintaining the subtree-size
+// estimates weight-sensitive codecs use to hand heavier subtrees shorter
+// labels. Positional codecs never get here.
+func (e *Engine) observeGrandchild(from, parent radio.NodeID) {
+	old, had := e.grandkids[from]
+	if parent == e.node.ID() || e.children.Position(parent) == 0 {
+		// from is my direct child, or sits under a node that is not my
+		// child: it contributes to no child subtree of mine.
+		if had {
+			delete(e.grandkids, from)
+			e.updateWeight(old)
+		}
+		return
+	}
+	if had && old == parent {
+		return
+	}
+	e.grandkids[from] = parent
+	if had {
+		e.updateWeight(old)
+	}
+	e.updateWeight(parent)
+}
+
+// updateWeight recomputes a child's subtree estimate (itself plus its
+// observed grandchildren) and feeds it to the codec; a resulting relabel
+// is announced like a space extension.
+func (e *Engine) updateWeight(child radio.NodeID) {
+	if e.children.Position(child) == 0 {
+		return
+	}
+	w := 1
+	for _, p := range e.grandkids {
+		if p == child {
+			w++
+		}
+	}
+	if e.children.SetWeight(child, w) {
+		e.relabeled()
+	}
 }
 
 // onParentBeacon implements the child side (Algorithm 3).
@@ -130,13 +178,21 @@ func (e *Engine) onParentBeacon(from radio.NodeID, ext *TeleExt) {
 		if a.Child != e.node.ID() {
 			continue
 		}
+		labelChanged := false
+		if !a.Label.IsEmpty() && (!e.haveLabel || !e.label.Equal(a.Label)) {
+			// Adopt the explicit label (variable-length codecs) before the
+			// position so the code recomputes once, from consistent state.
+			e.label = a.Label
+			e.haveLabel = true
+			labelChanged = true
+		}
 		if !e.havePosition || e.position != a.Position {
 			e.adoptPosition(a.Position)
 		}
 		if !a.Confirmed {
 			e.sendConfirm(from)
 		}
-		if parentChanged {
+		if parentChanged || labelChanged {
 			e.recomputeCode()
 		}
 		return
@@ -176,16 +232,28 @@ func (e *Engine) onChildBeacon(from radio.NodeID, ext *TeleExt) {
 		e.allocateAndAck(from)
 		return
 	}
-	out, pos, extended, err := e.children.Confirm(from, ext.Position)
+	out, pos, relabel, err := e.children.Confirm(from, ext.Position)
 	if err != nil {
 		return
 	}
 	switch out {
 	case ConfirmMatched:
 		e.stats.Confirms++
+		if !e.codecPositional && ext.HasCode && e.haveCode {
+			// Label consistency (variable-length codecs): the child's
+			// position matches, but its announced code may still derive
+			// from a stale label after a relabel. Unconfirm and re-ack so
+			// the current label reaches it.
+			if label := e.children.LabelOf(from); !label.IsEmpty() {
+				if want, err := e.myCode.Append(label); err == nil && !want.Equal(ext.Code) {
+					e.children.Unconfirm(from)
+					e.sendAllocationAck(from, pos)
+				}
+			}
+		}
 	case ConfirmReallocated, ConfirmNew:
-		if extended {
-			e.spaceExtended()
+		if relabel {
+			e.announceSpaceChange()
 		}
 		e.sendAllocationAck(from, pos)
 	}
@@ -225,35 +293,60 @@ func (e *Engine) maybeAllocate() {
 // allocateAndAck gives a position to a known-or-new child and unicasts the
 // allocation acknowledgement.
 func (e *Engine) allocateAndAck(child radio.NodeID) {
-	pos, extended, err := e.children.Request(child)
+	pos, relabel, err := e.children.Request(child)
 	if err != nil {
 		return
 	}
-	if extended {
-		e.spaceExtended()
+	if relabel {
+		e.announceSpaceChange()
 	}
 	e.sendAllocationAck(child, pos)
 }
 
 func (e *Engine) sendAllocationAck(child radio.NodeID, pos uint16) {
 	e.stats.AllocationAcks++
+	label := e.children.LabelOf(child) // empty for positional codecs
+	size := 8 + e.myCode.SizeBytes()
+	if !label.IsEmpty() {
+		size += label.SizeBytes()
+	}
 	_ = e.node.Send(&radio.Frame{
 		Kind: radio.FrameData,
 		Dst:  child,
-		Size: 8 + e.myCode.SizeBytes(),
+		Size: size,
 		Payload: &AllocationAck{
 			Position:    pos,
 			SpaceBits:   uint8(e.children.SpaceBits()),
 			ParentCode:  e.myCode,
 			ParentDepth: e.depth,
+			Label:       label,
 		},
 	})
+}
+
+// announceSpaceChange reacts to a label-space change on allocation: a
+// bit-space extension (positional codecs) or a relabel (variable-length
+// codecs). Either way all children must learn the new state, so beacon
+// immediately; the child table has already unconfirmed relabeled entries
+// so their new labels ride the beacons.
+func (e *Engine) announceSpaceChange() {
+	if e.codecPositional {
+		e.spaceExtended()
+	} else {
+		e.relabeled()
+	}
 }
 
 // spaceExtended reacts to a bit-space extension: all children must learn
 // the wider width, so beacon immediately.
 func (e *Engine) spaceExtended() {
 	e.stats.SpaceExtensions++
+	e.ctp.TriggerBeacon()
+}
+
+// relabeled is the variable-length counterpart of spaceExtended.
+func (e *Engine) relabeled() {
+	e.stats.Relabels++
 	e.ctp.TriggerBeacon()
 }
 
@@ -281,6 +374,10 @@ func (e *Engine) deliverAllocationAck(from radio.NodeID, a *AllocationAck) {
 	e.parentSpace = a.SpaceBits
 	e.parentDepth = a.ParentDepth
 	e.haveParent = true
+	if !a.Label.IsEmpty() {
+		e.label = a.Label
+		e.haveLabel = true
+	}
 	e.adoptPosition(a.Position)
 	e.recomputeCode()
 	e.sendConfirm(from)
@@ -301,14 +398,22 @@ func (e *Engine) sendConfirm(parent radio.NodeID) {
 	})
 }
 
-// recomputeCode derives this node's code from the parent's published code,
-// space width and our position; on change it retires the old code,
-// triggers a beacon (children must re-derive), and reports upward.
+// recomputeCode derives this node's code from the parent's published code
+// and our label — the explicit one for variable-length codecs, or the
+// fixed-width encoding of our position for positional codecs; on change it
+// retires the old code, triggers a beacon (children must re-derive), and
+// reports upward.
 func (e *Engine) recomputeCode() {
 	if e.isSink || !e.haveParent || !e.havePosition || e.parentSpace == 0 {
 		return
 	}
-	code, err := e.parentCode.Extend(e.position, int(e.parentSpace))
+	var code PathCode
+	var err error
+	if e.haveLabel {
+		code, err = e.parentCode.Append(e.label)
+	} else {
+		code, err = e.parentCode.Extend(e.position, int(e.parentSpace))
+	}
 	if err != nil {
 		return
 	}

@@ -29,6 +29,14 @@ func progressPrio(adv int) int {
 	}
 }
 
+// countControlSend books one logical control transmission plus the
+// destination path-code bytes it puts on the air (the per-codec
+// header-cost metric).
+func (e *Engine) countControlSend(c *Control) {
+	e.stats.ControlSends++
+	e.stats.HeaderBytes += uint64(c.DstCode.SizeBytes())
+}
+
 // myMatch returns the length of this node's code (or still-valid old code)
 // prefix-matched against dst, 0 if neither matches.
 func (e *Engine) myMatch(dst PathCode) int {
@@ -171,7 +179,7 @@ func (e *Engine) deliverControl(f *radio.Frame, c *Control) {
 			Hops:     c.Hops + 1,
 			App:      c.App,
 		}
-		e.stats.ControlSends++
+		e.countControlSend(leg)
 		e.emitOp(telemetry.Event{Kind: telemetry.KindOpDetourLeg, Op: c.Op, UID: c.UID,
 			Dst: c.FinalDst, Hops: leg.Hops})
 		_ = e.node.Send(&radio.Frame{
@@ -270,7 +278,7 @@ func (e *Engine) forwardControl(st *ctrlState) {
 		App:         c.App,
 	}
 	st.ctrl = fwd
-	e.stats.ControlSends++
+	e.countControlSend(fwd)
 	if !e.isSink {
 		e.stats.ControlRelayed++
 	}

@@ -32,12 +32,15 @@ type PositionRequest struct{}
 
 // AllocationAck is the parent's unicast answer to a position request or a
 // detected inconsistency: the authoritative position plus everything the
-// child needs to compute its code immediately.
+// child needs to compute its code immediately. Non-positional codecs also
+// carry the child's explicit bit label (empty for the paper codec, whose
+// labels are derived from position and space width).
 type AllocationAck struct {
 	Position    uint16
 	SpaceBits   uint8
 	ParentCode  PathCode
 	ParentDepth uint8
+	Label       PathCode
 }
 
 // ConfirmFrame is the child's unicast confirmation of an allocation.

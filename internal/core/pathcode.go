@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -51,7 +52,10 @@ func CodeFromBits(s string) (PathCode, error) {
 	return c, nil
 }
 
-// MustCode is CodeFromBits that panics on error (for tests and constants).
+// MustCode is CodeFromBits that panics on error. It exists for tests and
+// package-level constants only; production call sites must use
+// CodeFromBits (or the structured builders Extend/Append/codeFromValue)
+// and propagate the error.
 func MustCode(s string) PathCode {
 	c, err := CodeFromBits(s)
 	if err != nil {
@@ -99,6 +103,32 @@ func (c PathCode) Extend(position uint16, width int) (PathCode, error) {
 	return out, nil
 }
 
+// Append returns c followed by all of label's bits. It is the
+// variable-length counterpart of Extend: codecs that assign explicit bit
+// labels (rather than fixed-width positions) build a child's code as
+// parentCode.Append(label). An empty label is an error — a child's code
+// must strictly extend its parent's.
+func (c PathCode) Append(label PathCode) (PathCode, error) {
+	if label.n == 0 {
+		return PathCode{}, fmt.Errorf("core: appending empty label")
+	}
+	if c.n+label.n > MaxCodeBits {
+		return PathCode{}, fmt.Errorf("core: appending %d-bit label to %d-bit code exceeds limit", label.n, c.n)
+	}
+	out := PathCode{bits: make([]byte, (c.n+label.n+7)/8), n: c.n + label.n}
+	copy(out.bits, c.bits)
+	if rem := c.n % 8; rem != 0 {
+		out.bits[c.n/8] &= 0xFF << (8 - rem) // clear any stale tail bits
+	}
+	for i := 0; i < label.n; i++ {
+		if label.Bit(i) == 1 {
+			pos := c.n + i
+			out.bits[pos/8] |= 1 << (7 - pos%8)
+		}
+	}
+	return out, nil
+}
+
 // IsPrefixOf reports whether c's valid bits are a prefix of other's. The
 // empty code is a prefix of everything; a code is a prefix of itself.
 func (c PathCode) IsPrefixOf(other PathCode) bool {
@@ -125,15 +155,25 @@ func (c PathCode) Equal(other PathCode) bool {
 	return c.n == other.n && c.IsPrefixOf(other)
 }
 
-// CommonPrefixLen returns the length of the longest common prefix.
+// CommonPrefixLen returns the length of the longest common prefix. It
+// compares whole bytes and locates the first differing bit with a
+// leading-zeros count, so deep codes cost a few XORs instead of a
+// per-bit loop.
 func (c PathCode) CommonPrefixLen(other PathCode) int {
 	n := c.n
 	if other.n < n {
 		n = other.n
 	}
-	for i := 0; i < n; i++ {
-		if c.Bit(i) != other.Bit(i) {
-			return i
+	full := n / 8
+	for i := 0; i < full; i++ {
+		if x := c.bits[i] ^ other.bits[i]; x != 0 {
+			return i*8 + bits.LeadingZeros8(x)
+		}
+	}
+	if rem := n % 8; rem != 0 {
+		mask := byte(0xFF << (8 - rem))
+		if x := (c.bits[full] ^ other.bits[full]) & mask; x != 0 {
+			return full*8 + bits.LeadingZeros8(x)
 		}
 	}
 	return n

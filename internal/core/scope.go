@@ -183,6 +183,7 @@ func (e *Engine) relayScope(sc *ScopedControl) {
 func (e *Engine) sendScopeCopy(sc *ScopedControl) {
 	fwd := &ScopedControl{UID: sc.UID, Scope: sc.Scope, Hops: sc.Hops + 1, App: sc.App}
 	e.stats.ControlSends++
+	e.stats.HeaderBytes += uint64(sc.Scope.SizeBytes())
 	_ = e.node.Send(&radio.Frame{
 		Kind:    radio.FrameData,
 		Dst:     radio.BroadcastID,

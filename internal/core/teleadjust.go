@@ -15,6 +15,9 @@ import (
 
 // Config holds TeleAdjusting parameters.
 type Config struct {
+	// Codec selects the tree-coding scheme (nil means the paper's
+	// Algorithm 1; see CodecByName for the registry).
+	Codec Codec
 	// Reserve is the Algorithm 1 bit-space reserve policy.
 	Reserve ReservePolicy
 	// AllocDelay is how long after the last new-child discovery the
@@ -74,6 +77,14 @@ type Stats struct {
 	AllocationAcks  uint64
 	Confirms        uint64
 	SpaceExtensions uint64
+	// Relabels counts label reassignments by variable-length codecs (the
+	// non-positional counterpart of SpaceExtensions: a label-space change
+	// that must be re-announced to children).
+	Relabels uint64
+	// HeaderBytes accumulates destination path-code bytes put on the air
+	// by control sends — the per-codec header-cost metric of the
+	// coding-schemes study.
+	HeaderBytes uint64
 	// Forwarding.
 	ControlSends    uint64 // logical control transmissions (Table III metric)
 	ControlRelayed  uint64
@@ -137,11 +148,16 @@ type Engine struct {
 	oldCodeUntil time.Duration
 	position     uint16
 	havePosition bool
-	parentCode   PathCode
-	parentSpace  uint8
-	parentDepth  uint8
-	haveParent   bool
-	codeAt       time.Duration // when the code was first obtained
+	// label is the explicit bit label adopted from the parent
+	// (non-positional codecs; positional codecs derive the label from
+	// position and parentSpace).
+	label       PathCode
+	haveLabel   bool
+	parentCode  PathCode
+	parentSpace uint8
+	parentDepth uint8
+	haveParent  bool
+	codeAt      time.Duration // when the code was first obtained
 	// eligibleAt is when code construction became possible at this node:
 	// the first moment its (current) parent was known to hold a path code
 	// (the paper's Fig 6c convergence clock starts here).
@@ -152,6 +168,13 @@ type Engine struct {
 	lastChildNews time.Duration
 	allocTimer    *sim.Timer
 	lastRequest   time.Duration
+	// codecPositional caches Codec.Positional(): true for the paper codec,
+	// whose hot paths must stay exactly as before the codec seam.
+	codecPositional bool
+	// grandkids maps overheard grandchildren to the child whose subtree
+	// they belong to — the weight estimate feed for weight-sensitive
+	// codecs (nil for positional codecs).
+	grandkids map[radio.NodeID]radio.NodeID
 
 	neighborCodes map[radio.NodeID]*neighborCode
 	unreachable   map[radio.NodeID]bool
@@ -229,17 +252,24 @@ func New(n *node.Node, c *ctp.CTP, cfg Config, rng *rand.Rand) *Engine {
 	if cfg.Reserve == nil {
 		cfg.Reserve = DefaultReserve
 	}
+	if cfg.Codec == nil {
+		cfg.Codec = PaperCodec()
+	}
 	e := &Engine{
-		node:          n,
-		eng:           n.Engine(),
-		cfg:           cfg,
-		rng:           rng,
-		ctp:           c,
-		isSink:        c.IsSink(),
-		children:      NewChildTable(cfg.Reserve),
-		neighborCodes: make(map[radio.NodeID]*neighborCode),
-		unreachable:   make(map[radio.NodeID]bool),
-		ctrl:          make(map[uint32]*ctrlState),
+		node:            n,
+		eng:             n.Engine(),
+		cfg:             cfg,
+		rng:             rng,
+		ctp:             c,
+		isSink:          c.IsSink(),
+		children:        NewChildTableWithCodec(cfg.Codec, cfg.Reserve),
+		codecPositional: cfg.Codec.Positional(),
+		neighborCodes:   make(map[radio.NodeID]*neighborCode),
+		unreachable:     make(map[radio.NodeID]bool),
+		ctrl:            make(map[uint32]*ctrlState),
+	}
+	if !e.codecPositional {
+		e.grandkids = make(map[radio.NodeID]radio.NodeID)
 	}
 	if e.isSink {
 		e.myCode = RootCode()
@@ -352,6 +382,8 @@ func (e *Engine) SetTelemetry(reg *telemetry.Registry, bus *telemetry.Bus) {
 	reg.BindCounter(telemetry.LayerCore, id, "allocation-acks", &e.stats.AllocationAcks)
 	reg.BindCounter(telemetry.LayerCore, id, "confirms", &e.stats.Confirms)
 	reg.BindCounter(telemetry.LayerCore, id, "space-extensions", &e.stats.SpaceExtensions)
+	reg.BindCounter(telemetry.LayerCore, id, "relabels", &e.stats.Relabels)
+	reg.BindCounter(telemetry.LayerCore, id, "header-bytes", &e.stats.HeaderBytes)
 	reg.BindCounter(telemetry.LayerCore, id, "control-sends", &e.stats.ControlSends)
 	reg.BindCounter(telemetry.LayerCore, id, "control-relayed", &e.stats.ControlRelayed)
 	reg.BindCounter(telemetry.LayerCore, id, "control-deliv", &e.stats.ControlDeliv)

@@ -9,7 +9,12 @@ package core
 //	PathCode    := bitLen:u8 bytes:[ceil(bitLen/8)]u8
 //	TeleExt     := flags:u8 [code:PathCode] depth:u8 space:u8
 //	               parent:u16 position:u16 nAlloc:u8
-//	               nAlloc × (child:u16 position:u16 flags:u8)
+//	               nAlloc × (child:u16 position:u16 flags:u8 [label:PathCode])
+//
+// The per-allocation label is present only when the top-level labels flag
+// is set (variable-length codecs announce explicit bit labels); the paper
+// codec never sets it, so its encoding is byte-identical to the original
+// fixed-width format.
 //	Control     := uid:u32 op:u32 dst:u16 code:PathCode expected:u16
 //	               expectedLen:u8 flags:u8 finalDst:u16 hops:u8
 //	Feedback    := uid:u32 failedRelay:u16 ctrl:Control
@@ -66,6 +71,7 @@ func DecodeCode(b []byte) (PathCode, []byte, error) {
 
 const (
 	extFlagHasCode = 1 << 0
+	extFlagLabels  = 1 << 1
 
 	ctrlFlagDetour   = 1 << 0
 	ctrlFlagFinalLeg = 1 << 1
@@ -77,6 +83,18 @@ func MarshalExt(e *TeleExt) []byte {
 	var flags byte
 	if e.HasCode {
 		flags |= extFlagHasCode
+	}
+	// Explicit labels go on the air only when some allocation carries one;
+	// the paper codec's allocations never do, keeping its bytes unchanged.
+	labels := false
+	for _, a := range e.Allocations {
+		if !a.Label.IsEmpty() {
+			labels = true
+			break
+		}
+	}
+	if labels {
+		flags |= extFlagLabels
 	}
 	b = append(b, flags)
 	if e.HasCode {
@@ -97,6 +115,9 @@ func MarshalExt(e *TeleExt) []byte {
 			f = 1
 		}
 		b = append(b, f)
+		if labels {
+			b = AppendCode(b, a.Label)
+		}
 	}
 	return b
 }
@@ -126,16 +147,25 @@ func UnmarshalExt(b []byte) (*TeleExt, error) {
 	e.Position = binary.LittleEndian.Uint16(b[4:])
 	n := int(b[6])
 	b = b[7:]
-	if len(b) < 5*n {
-		return nil, ErrTruncated
-	}
+	labels := flags&extFlagLabels != 0
 	for i := 0; i < n; i++ {
-		e.Allocations = append(e.Allocations, ChildEntry{
+		if len(b) < 5 {
+			return nil, ErrTruncated
+		}
+		a := ChildEntry{
 			Child:     radio.NodeID(binary.LittleEndian.Uint16(b)),
 			Position:  binary.LittleEndian.Uint16(b[2:]),
 			Confirmed: b[4] != 0,
-		})
+		}
 		b = b[5:]
+		if labels {
+			var err error
+			a.Label, b, err = DecodeCode(b)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e.Allocations = append(e.Allocations, a)
 	}
 	return e, nil
 }

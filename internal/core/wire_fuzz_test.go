@@ -294,3 +294,45 @@ func FuzzExtEncode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzExtEncodeLabels drives the label-bearing beacon-extension path from
+// the value side: variable-width codec labels (including a mix of empty
+// and non-empty ones, which flips the top-level labels flag) must
+// round-trip and re-encode byte-stably. Eight fuzz bytes per allocation:
+// child, position, flags, declared label bit length, two raw label bytes.
+func FuzzExtEncodeLabels(f *testing.F) {
+	f.Add(uint16(11), []byte{0xB4, 0xE0},
+		[]byte{0, 9, 0, 1, 1, 2, 0xC0, 0, 0, 12, 0, 6, 0, 5, 0xA8, 0})
+	f.Add(uint16(0), []byte{}, []byte{0, 3, 0, 1, 0, 0, 0, 0}) // all labels empty: flag stays clear
+	f.Fuzz(func(t *testing.T, codeLen uint16, codeRaw, allocRaw []byte) {
+		e := &TeleExt{Depth: 2, SpaceBits: 4, Parent: radio.NodeID(3), Position: 1}
+		if codeLen > 0 {
+			e.HasCode = true
+			e.Code = canonicalCode(byte(codeLen), codeRaw)
+		}
+		n := len(allocRaw) / 8
+		if n > 255 {
+			n = 255 // the wire format caps the allocation count at a byte
+		}
+		for i := 0; i < n; i++ {
+			a := allocRaw[8*i:]
+			e.Allocations = append(e.Allocations, ChildEntry{
+				Child:     radio.NodeID(uint16(a[0])<<8 | uint16(a[1])),
+				Position:  uint16(a[2])<<8 | uint16(a[3]),
+				Confirmed: a[4]&1 != 0,
+				Label:     canonicalCode(a[5], a[6:8]),
+			})
+		}
+		enc := MarshalExt(e)
+		got, err := UnmarshalExt(enc)
+		if err != nil {
+			t.Fatalf("decoding a marshalled extension failed: %v", err)
+		}
+		if !reflect.DeepEqual(e, got) {
+			t.Fatalf("round trip changed extension:\nsent: %+v\ngot:  %+v", e, got)
+		}
+		if enc2 := MarshalExt(got); !bytes.Equal(enc, enc2) {
+			t.Fatal("re-encode is not byte-stable")
+		}
+	})
+}

@@ -99,7 +99,9 @@ func TestExtWireRoundTrip(t *testing.T) {
 			return false
 		}
 		for i := range e.Allocations {
-			if got.Allocations[i] != e.Allocations[i] {
+			g, w := got.Allocations[i], e.Allocations[i]
+			if g.Child != w.Child || g.Position != w.Position ||
+				g.Confirmed != w.Confirmed || !g.Label.Equal(w.Label) {
 				return false
 			}
 		}

@@ -127,6 +127,38 @@ func WriteThroughputCSV(w io.Writer, res *ThroughputResult) error {
 	return nil
 }
 
+// WriteCodingSchemesCSV exports codec comparisons under one header, one
+// row per (scenario, codec) cell.
+func WriteCodingSchemesCSV(w io.Writer, results ...*CodingSchemesResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"scenario", "codec", "converged",
+		"len_p50", "len_p95", "len_max", "len_mean",
+		"churn", "code_changes", "header_bytes", "control_sends", "hdr_bytes_per_send",
+		"sent", "delivered", "skipped", "pdr"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, res := range results {
+		for _, c := range res.Codecs {
+			rec := []string{res.Scenario, c.Codec, f(c.Converged),
+				f(c.CodeLen.P50()), f(c.CodeLen.P95()), f(c.CodeLen.Max()), f(c.CodeLen.Mean()),
+				strconv.FormatUint(c.Churn, 10), strconv.FormatUint(c.CodeChanges, 10),
+				strconv.FormatUint(c.HeaderBytes, 10), strconv.FormatUint(c.ControlSends, 10),
+				f(c.HeaderBytesPerSend()),
+				strconv.Itoa(c.Sent), strconv.Itoa(c.Delivered), strconv.Itoa(c.Skipped), f(c.PDR())}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("coding schemes csv: %w", err)
+	}
+	return nil
+}
+
 // WriteCodingCSV exports a coding study's per-hop series.
 func WriteCodingCSV(w io.Writer, res *CodingResult) error {
 	cw := csv.NewWriter(w)

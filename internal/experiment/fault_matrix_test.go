@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"teleadjust/internal/core"
 	"teleadjust/internal/fault"
 	"teleadjust/internal/telemetry"
 )
@@ -98,6 +99,76 @@ func TestFaultMatrixAcrossProtocols(t *testing.T) {
 			}
 			t.Logf("%s: sent=%d delivered=%d skipped=%d coverage=%.2f",
 				proto, res.Sent, res.Delivered, res.Skipped, net.TreeCoverage())
+		})
+	}
+}
+
+// TestFaultMatrixAcrossCodecs re-runs the same churn script once per
+// registered tree-coding codec under ReTeleAdjusting, with the invariant
+// oracle riding the radio trace. The crash/loss/degradation/reboot sequence
+// must leave every codec's tree consistent — the variable-length codecs'
+// relabel paths get exercised by node 7's re-join, not just the paper's
+// fixed-width extension path.
+func TestFaultMatrixAcrossCodecs(t *testing.T) {
+	opts := ControlOpts{
+		Warmup:   2 * time.Minute,
+		Packets:  6,
+		Interval: 16 * time.Second,
+		Drain:    40 * time.Second,
+	}
+	plan := matrixChurnPlan()
+	for _, codec := range core.CodecNames() {
+		codec := codec
+		t.Run(codec, func(t *testing.T) {
+			scn := smallScenario(21)
+			scn.Codec = codec
+			scn.Fault = plan
+			var net *Net
+			var orc *fault.Oracle
+			scn.OnNetBuilt = func(n *Net) {
+				net = n
+				orc = fault.NewOracle(fault.OracleConfig{
+					NumNodes:       n.Dep.Len(),
+					Sink:           n.Sink,
+					RetryRounds:    scn.Tele.RetryRounds,
+					Backtracks:     scn.Tele.Backtracks,
+					ControlTimeout: scn.Tele.ControlTimeout,
+					RescueEnabled:  true,
+				})
+				orc.TeleAt = n.Tele
+				orc.Alive = n.Alive
+				orc.Now = n.Eng.Now
+				n.Bus.Subscribe(orc, telemetry.LayerRadio)
+			}
+			res, err := RunControlStudy(scn, ProtoReTele, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Sent == 0 {
+				t.Fatal("nothing sent through the fault script")
+			}
+			if inj := net.FaultInjector(); inj == nil {
+				t.Fatal("scenario plan did not install an injector")
+			} else if inj.Applied() != len(plan.Events)+2 {
+				t.Fatalf("injector applied %d fault edges, want %d", inj.Applied(), len(plan.Events)+2)
+			}
+			if !net.Alive(7) {
+				t.Fatal("node 7 still dead after the scripted reboot")
+			}
+			if h := net.CTPHops(7); h <= 0 {
+				t.Fatalf("rebooted node 7 not re-attached (hops %d)", h)
+			}
+			if c := net.TreeCoverage(); c < 0.85 {
+				t.Fatalf("tree coverage %.2f after the churn script", c)
+			}
+			if v := orc.Check(); len(v) != 0 {
+				t.Fatalf("oracle violations under codec %s:\n%s", codec, orc.Summary())
+			}
+			if _, ok := net.Tele(7).Code(); !ok {
+				t.Error("rebooted node 7 did not regain a path code")
+			}
+			t.Logf("%s: sent=%d delivered=%d skipped=%d coverage=%.2f",
+				codec, res.Sent, res.Delivered, res.Skipped, net.TreeCoverage())
 		})
 	}
 }

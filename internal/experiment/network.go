@@ -38,6 +38,10 @@ type Config struct {
 	// runs per network: they all claim the sink's CTP delivery hook for
 	// their end-to-end acks.
 	Protocol Proto
+	// Codec selects the tree-coding scheme by name for TeleAdjusting
+	// variants (see core.CodecByName; empty means the paper's
+	// Algorithm 1). Resolved into Tele.Codec at build time.
+	Codec string
 	// NoiseTraceSeed != 0 trains a CPM model on a synthetic noise trace
 	// with that seed; 0 uses the constant quiet floor.
 	NoiseTraceSeed uint64
@@ -105,6 +109,13 @@ func Build(cfg Config) (*Net, error) {
 	build, err := builderFor(cfg.Protocol)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Codec != "" {
+		codec, err := core.CodecByName(cfg.Codec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Tele.Codec = codec
 	}
 	eng := sim.NewEngine()
 	var model *noise.Model

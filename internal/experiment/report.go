@@ -112,6 +112,43 @@ func WriteScopeReport(w io.Writer, res *ScopeStudyResult) {
 	fmt.Fprintf(w, "per-member unicast: %.2f tx per addressed member\n", res.UnicastTxPerMember)
 }
 
+// WriteCodingSchemesReport renders the per-scenario codec comparison: one
+// row per tree-coding scheme with code-length percentiles, churn, header
+// cost on air, and probe delivery accuracy.
+func WriteCodingSchemesReport(w io.Writer, res *CodingSchemesResult) {
+	fmt.Fprintf(w, "=== Coding schemes: %s ===\n", res.Scenario)
+	fmt.Fprintf(w, "%-14s %6s %8s %8s %8s %7s %8s %10s %8s\n",
+		"codec", "conv", "len-p50", "len-p95", "len-max", "churn", "recodes", "hdrB/send", "PDR")
+	for _, c := range res.Codecs {
+		fmt.Fprintf(w, "%-14s %5.1f%% %8.1f %8.1f %8.1f %7d %8d %10.2f %7.1f%%\n",
+			c.Codec, 100*c.Converged,
+			c.CodeLen.P50(), c.CodeLen.P95(), c.CodeLen.Max(),
+			c.Churn, c.CodeChanges, c.HeaderBytesPerSend(), 100*c.PDR())
+	}
+	fmt.Fprintln(w, "\nmean code length (bits):")
+	maxMean := 0.0
+	for _, c := range res.Codecs {
+		if m := c.CodeLen.Mean(); m > maxMean {
+			maxMean = m
+		}
+	}
+	if maxMean <= 0 {
+		maxMean = 1
+	}
+	const width = 30
+	for _, c := range res.Codecs {
+		m := c.CodeLen.Mean()
+		n := int(m / maxMean * width)
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "%-14s %8.3f %s\n", c.Codec, m, strings.Repeat("█", n))
+	}
+}
+
 // BarTable renders a grouped series as an aligned table with ASCII bars
 // scaled to the maximum mean (or scaleMax when positive) — a text
 // rendition of the paper's bar figures.

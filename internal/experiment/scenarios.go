@@ -28,6 +28,9 @@ type Scenario struct {
 	NoiseSeed    uint64
 	NoiseProfile *noise.TraceProfile // nil = meyer-heavy
 	WifiPowerDBm float64
+	// Codec selects the tree-coding scheme by name for TeleAdjusting
+	// variants (empty = the paper's Algorithm 1).
+	Codec string
 	// Fault is an optional fault script applied to every network built
 	// from this scenario (shared read-only across replicated runs).
 	Fault *fault.Plan
@@ -166,6 +169,7 @@ func (s Scenario) config(p Proto) Config {
 		Drip:           s.Drip,
 		Rpl:            s.Rpl,
 		Protocol:       p,
+		Codec:          s.Codec,
 		NoiseTraceSeed: s.NoiseSeed,
 		NoiseProfile:   s.NoiseProfile,
 		WifiPowerDBm:   s.WifiPowerDBm,

@@ -176,7 +176,9 @@ func (e *Estimator) evict(now time.Duration) {
 		if !en.haveIn {
 			q = 0.01 // barely-known entries are cheapest to drop
 		}
-		if q < worstQ {
+		// Ties broken by id: eviction must not depend on map iteration
+		// order, or dense networks lose run-to-run reproducibility.
+		if q < worstQ || (q == worstQ && id < worst) {
 			worstQ = q
 			worst = id
 		}
