@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test test-fault race fuzz test-fuzz bench bench-smoke check
+.PHONY: all build vet fmt-check lint test test-fault test-scale test-scale-full race fuzz test-fuzz bench bench-smoke check
 
 all: check
 
@@ -29,6 +29,20 @@ test-fault:
 	$(GO) test -run 'TestRecoveryPaths' ./internal/core/
 	$(GO) test -run 'TestFault|TestReboot|TestKillNode|TestLongChurn' ./internal/experiment/
 
+# The sparse-medium scaling contract under the race detector, in short
+# mode: dense/sparse equivalence, the grid spatial index, per-link fault
+# offsets, and the 1k-node field smoke.
+test-scale:
+	$(GO) test -race -short \
+		-run 'Grid1k|GridIndex|SparseMatchesDense|SparseTrace|LinkOffsetStore|ReseedPCG' \
+		./internal/radio/ ./internal/topology/ ./internal/experiment/
+
+# The multi-minute 1k-node studies: 2-seed serial-vs-parallel replication
+# byte-identity and the full control study on grid1k. Opt-in (they exceed
+# the default per-package test timeout budget); expect ~20 minutes.
+test-scale-full:
+	TELEADJUST_SCALE=1 $(GO) test -v -timeout 45m -run 'TestGrid1k' ./internal/experiment/
+
 race:
 	$(GO) test -race ./internal/fault/... ./internal/experiment/...
 	$(GO) test -race ./...
@@ -53,9 +67,11 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # One-iteration smoke pass over the benchmarks that assert contracts (the
-# telemetry plane's disabled/traced split and the sink scheduler's
-# concurrency speedup) — fast enough for CI, still failing on regression.
+# telemetry plane's disabled/traced split, the sink scheduler's
+# concurrency speedup, and the sparse medium's construction/per-frame
+# scaling) — fast enough for CI, still failing on regression.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkSinkSchedulerGoodput' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkMediumConstruction|BenchmarkMediumScale' -benchtime=1x ./internal/radio/
 
 check: build vet fmt-check test

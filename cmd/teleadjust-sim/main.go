@@ -286,7 +286,7 @@ func main() {
 
 func run() error {
 	var c cliConfig
-	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid")
+	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid, grid1k")
 	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput, coding-schemes")
 	flag.StringVar(&c.proto, "proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
 	flag.StringVar(&c.codec, "codec", "", "tree-coding scheme for TeleAdjusting variants: "+strings.Join(core.CodecNames(), ", "))
@@ -549,6 +549,8 @@ func pickScenario(name string, seed uint64) (experiment.Scenario, error) {
 		return experiment.Indoor(seed, true), nil
 	case "refgrid":
 		return experiment.ReferenceGrid(seed), nil
+	case "grid1k":
+		return experiment.Grid1K(seed), nil
 	}
 	return experiment.Scenario{}, fmt.Errorf("unknown scenario %q", name)
 }

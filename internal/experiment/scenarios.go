@@ -92,6 +92,35 @@ func ReferenceGrid(seed uint64) Scenario {
 	}
 }
 
+// Grid1K is the 1024-node large-field scenario: a 32×32 jittered grid
+// over 420 m × 420 m — the same node density and high-gain radio as
+// ReferenceGrid, scaled to ~12 hops across. It selects the per-link gain
+// model (radio.GainPerLink), so channel state is built from a spatial
+// index in O(n·neighbors) rather than an n×n sweep; the interference
+// floor is raised to −106 dBm to keep audible neighborhoods at ~60 m
+// (~65 nodes) instead of letting thousand-node fields couple end to end.
+func Grid1K(seed uint64) Scenario {
+	params := radio.DefaultParams()
+	params.RefLossDB = 35
+	params.InterferenceFloorDBm = -106
+	params.GainModel = radio.GainPerLink
+	c := ctp.DefaultConfig()
+	c.HelpBeaconDelta = 6
+	c.CostChangeDelta = 3
+	return Scenario{
+		Name:      "grid-1k",
+		Dep:       topology.Grid("grid-1k", 32, 32, 420, 420, true, topology.Point{X: 210, Y: 210}, seed),
+		Radio:     params,
+		Mac:       mac.DefaultConfig(),
+		Ctp:       c,
+		Tele:      core.DefaultConfig(),
+		Drip:      drip.DefaultConfig(),
+		Rpl:       rpl.DefaultConfig(),
+		NoiseSeed: seed ^ 0x77,
+		Seed:      seed,
+	}
+}
+
 // SparseLinear is the 225-node 60 m × 600 m "low gain" field: RefLoss
 // 42 dB shrinks the range to ~21 m, stretching the network to tens of
 // hops along the long axis.

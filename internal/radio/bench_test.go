@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -37,5 +38,89 @@ func BenchmarkBroadcastBlast(b *testing.B) {
 func BenchmarkPRRCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		prrFromSNR(1.5, 40)
+	}
+}
+
+// benchDeployment is a side×side jittered grid at refgrid density
+// (13.125 m spacing), the geometry of the scale study.
+func benchDeployment(side int, seed uint64) *topology.Deployment {
+	span := 13.125 * float64(side)
+	return topology.Grid(fmt.Sprintf("bench-%dx%d", side, side), side, side,
+		span, span, true, topology.Point{X: span / 2, Y: span / 2}, seed)
+}
+
+func benchParams(model GainModel) Params {
+	params := DefaultParams()
+	params.RefLossDB = 35
+	params.InterferenceFloorDBm = -106
+	params.GainModel = model
+	return params
+}
+
+// BenchmarkMediumConstruction measures building the channel state:
+// GainSweep pays the historical O(n²) draw sweep (kept for trace
+// compatibility), GainPerLink builds from the spatial index in
+// O(n·neighbors). The n≥1024 sizes only run per-link — the point of the
+// sparse medium is that the sweep is never taken to those scales.
+func BenchmarkMediumConstruction(b *testing.B) {
+	cases := []struct {
+		side  int
+		model GainModel
+		name  string
+	}{
+		{10, GainSweep, "n=100/sweep"},
+		{10, GainPerLink, "n=100/perlink"},
+		{32, GainSweep, "n=1024/sweep"},
+		{32, GainPerLink, "n=1024/perlink"},
+		{64, GainPerLink, "n=4096/perlink"},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			dep := benchDeployment(c.side, 1)
+			params := benchParams(c.model)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var links int
+			for i := 0; i < b.N; i++ {
+				m, err := NewMedium(sim.NewEngine(), dep, nil, params, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				links = m.NumLinks()
+			}
+			b.ReportMetric(float64(links), "links")
+		})
+	}
+}
+
+// BenchmarkMediumScale measures the per-frame broadcast cost on a live
+// field: a transmission fans out to the audible neighborhood, so the
+// per-frame cost must track node degree, not field size.
+func BenchmarkMediumScale(b *testing.B) {
+	for _, side := range []int{10, 32} {
+		b.Run(fmt.Sprintf("n=%d", side*side), func(b *testing.B) {
+			dep := benchDeployment(side, 1)
+			eng := sim.NewEngine()
+			m, err := NewMedium(eng, dep, nil, benchParams(GainPerLink), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := m.NumNodes()
+			for i := 0; i < n; i++ {
+				m.Radio(NodeID(i)).SetOn(true)
+			}
+			f := &Frame{Kind: FrameData, Dst: BroadcastID, Size: 30}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.Src = NodeID(i % n)
+				if err := m.Radio(f.Src).Transmit(f, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Run(eng.Now() + 10*time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

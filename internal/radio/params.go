@@ -60,6 +60,64 @@ type Params struct {
 	InterferenceFloorDBm float64
 	// MaxTxPowerDBm is used for connectivity pruning.
 	MaxTxPowerDBm float64
+	// GainModel selects how per-link gains are derived from the seed
+	// (GainSweep reproduces the historical dense draw order; GainPerLink
+	// scales to thousand-node fields).
+	GainModel GainModel
+}
+
+// GainModel selects how per-directed-link channel gains are derived from
+// the simulation seed.
+type GainModel uint8
+
+const (
+	// GainSweep (the zero value) draws shadowing and fading from
+	// sequential all-pairs RNG sweeps, byte-identically reproducing the
+	// draw order of the historical dense-matrix medium — existing
+	// scenario traces do not move. Construction costs O(n²) time (every
+	// pair's draw must be consumed to keep the stream aligned) but only
+	// O(links) memory.
+	GainSweep GainModel = iota
+	// GainPerLink derives an independent RNG stream per directed link,
+	// so only the candidate pairs a spatial index finds within
+	// Params.MaxCommRangeM ever draw: construction is O(n·neighbors) in
+	// time and memory. Shadow draws are clamped to ±ShadowClampSigma
+	// standard deviations, which bounds the maximum communication range
+	// and makes the index cutoff provably lossless. The large-field
+	// scenarios (grid1k and up) use this model.
+	GainPerLink
+)
+
+// ShadowClampSigma bounds per-link shadowing draws (in standard
+// deviations) under GainPerLink. Four sigma truncates ~0.006% of the
+// lognormal tail while keeping the spatial index's candidate discs small
+// enough that candidate counts stay within a constant factor of the true
+// audible neighborhood.
+const ShadowClampSigma = 4.0
+
+// fadeHeadroomDB is the connectivity-pruning headroom reserved for slow
+// fading peaks: a link whose static gain sits this far below the
+// interference floor can still swing into audibility.
+func (p Params) fadeHeadroomDB() float64 { return 1.6 * p.FadingSigmaDB }
+
+// linkFloorGainDB returns the minimum static gain worth tracking: below
+// it a pair can neither be heard above the interference floor nor decoded
+// at the sensitivity threshold, even at maximum TX power with fade
+// headroom, so the medium stores no state for it.
+func (p Params) linkFloorGainDB() float64 {
+	return math.Min(p.InterferenceFloorDBm, p.SensitivityDBm) - p.MaxTxPowerDBm - p.fadeHeadroomDB()
+}
+
+// MaxCommRangeM returns the distance beyond which no directed pair can
+// reach linkFloorGainDB under GainPerLink's clamped shadowing — the
+// spatial index's cell size and query radius.
+func (p Params) MaxCommRangeM() float64 {
+	// Largest tolerable path loss: -PL(d) + ShadowClampSigma·σ ≥ floor.
+	budget := ShadowClampSigma*p.ShadowSigmaDB - p.linkFloorGainDB()
+	if budget <= p.RefLossDB {
+		return p.RefDist
+	}
+	return p.RefDist * math.Pow(10, (budget-p.RefLossDB)/(10*p.PathLossExponent))
 }
 
 // DefaultParams returns CC2420-like parameters with path exponent 4.

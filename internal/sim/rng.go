@@ -15,6 +15,15 @@ func DeriveRNG(seed uint64, stream uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(s, splitmix64(s)))
 }
 
+// ReseedPCG reinitializes pcg in place to the exact stream DeriveRNG
+// would hand out for (seed, stream). Wrapping one long-lived PCG in one
+// rand.Rand and reseeding it per entity gives allocation-free iteration
+// over millions of derived streams (e.g. one stream per radio link).
+func ReseedPCG(pcg *rand.PCG, seed, stream uint64) {
+	s := splitmix64(seed ^ (0x9e3779b97f4a7c15 * (stream + 1)))
+	pcg.Seed(s, splitmix64(s))
+}
+
 // splitmix64 is the SplitMix64 finalizer, used to decorrelate seeds.
 func splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15

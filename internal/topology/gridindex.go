@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"math"
+	"slices"
+)
+
+// GridIndex is a uniform grid-bucket spatial index over a fixed set of
+// points. Queries return the indices of every point whose bucket overlaps
+// a disc — a superset of the points actually inside the disc — in
+// ascending index order, so callers that iterate candidates consume RNG
+// streams deterministically. Built once per deployment; the point set is
+// immutable after construction.
+type GridIndex struct {
+	cell       float64
+	minX, minY float64
+	cols, rows int
+	buckets    [][]int32
+}
+
+// maxBucketFactor caps the bucket count at this multiple of the point
+// count, growing the cell size when a small query radius over a large
+// field would otherwise allocate a huge, mostly-empty grid.
+const maxBucketFactor = 4
+
+// NewGridIndex buckets pts into square cells of the given size. The cell
+// size must be positive and finite; it is the query radius callers intend
+// to use (a radius-r query then touches at most the 3×3 cell block around
+// the query point).
+func NewGridIndex(pts []Point, cell float64) *GridIndex {
+	if !(cell > 0) || math.IsInf(cell, 1) {
+		panic("topology: GridIndex cell size must be positive and finite")
+	}
+	g := &GridIndex{cell: cell}
+	if len(pts) == 0 {
+		g.cols, g.rows = 1, 1
+		g.buckets = make([][]int32, 1)
+		return g
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	g.minX, g.minY = minX, minY
+	// Grow the cell until the grid is O(n) buckets; a coarser grid only
+	// widens the candidate superset, never drops a point.
+	for {
+		g.cols = int((maxX-minX)/g.cell) + 1
+		g.rows = int((maxY-minY)/g.cell) + 1
+		if g.cols*g.rows <= maxBucketFactor*len(pts)+16 {
+			break
+		}
+		g.cell *= 2
+	}
+	g.buckets = make([][]int32, g.cols*g.rows)
+	for i, p := range pts {
+		c := g.bucketOf(p)
+		g.buckets[c] = append(g.buckets[c], int32(i))
+	}
+	return g
+}
+
+// CellSize returns the effective cell size (≥ the requested size when the
+// bucket cap coarsened the grid).
+func (g *GridIndex) CellSize() float64 { return g.cell }
+
+// Dims returns the grid dimensions in cells.
+func (g *GridIndex) Dims() (cols, rows int) { return g.cols, g.rows }
+
+// CellOf returns the cell coordinates holding p (clamped to the grid, so
+// points outside the indexed bounding box map to the border cells).
+func (g *GridIndex) CellOf(p Point) (cx, cy int) {
+	cx = g.clampCol(math.Floor((p.X - g.minX) / g.cell))
+	cy = g.clampRow(math.Floor((p.Y - g.minY) / g.cell))
+	return cx, cy
+}
+
+func (g *GridIndex) bucketOf(p Point) int {
+	cx, cy := g.CellOf(p)
+	return cy*g.cols + cx
+}
+
+func (g *GridIndex) clampCol(f float64) int {
+	if !(f > 0) { // also catches NaN
+		return 0
+	}
+	if c := int(f); c < g.cols {
+		return c
+	}
+	return g.cols - 1
+}
+
+func (g *GridIndex) clampRow(f float64) int {
+	if !(f > 0) {
+		return 0
+	}
+	if r := int(f); r < g.rows {
+		return r
+	}
+	return g.rows - 1
+}
+
+// Near returns the indices of every point whose bucket intersects the
+// axis-aligned square circumscribing the radius-r disc around p, sorted
+// ascending. The result is a superset of the points within distance r of
+// p (including a point at p itself, if indexed); callers filter by exact
+// distance.
+func (g *GridIndex) Near(p Point, r float64) []int32 {
+	return g.AppendNear(nil, p, r)
+}
+
+// AppendNear is Near with a caller-provided buffer, for allocation-free
+// repeated queries (dst is truncated, filled, and returned).
+func (g *GridIndex) AppendNear(dst []int32, p Point, r float64) []int32 {
+	dst = dst[:0]
+	if r < 0 {
+		r = 0
+	}
+	x0 := g.clampCol(math.Floor((p.X - r - g.minX) / g.cell))
+	x1 := g.clampCol(math.Floor((p.X + r - g.minX) / g.cell))
+	y0 := g.clampRow(math.Floor((p.Y - r - g.minY) / g.cell))
+	y1 := g.clampRow(math.Floor((p.Y + r - g.minY) / g.cell))
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * g.cols
+		for cx := x0; cx <= x1; cx++ {
+			dst = append(dst, g.buckets[row+cx]...)
+		}
+	}
+	slices.Sort(dst)
+	return dst
+}

@@ -1,0 +1,189 @@
+package topology
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func TestGridIndexCellAssignment(t *testing.T) {
+	pts := []Point{
+		{X: 0, Y: 0},
+		{X: 25, Y: 0},
+		{X: 0, Y: 25},
+		{X: 25, Y: 25},
+		{X: 12, Y: 12},
+	}
+	g := NewGridIndex(pts, 10)
+	cases := []struct {
+		p      Point
+		cx, cy int
+	}{
+		{Point{X: 0, Y: 0}, 0, 0},
+		{Point{X: 9.99, Y: 9.99}, 0, 0},
+		{Point{X: 10, Y: 0}, 1, 0},
+		{Point{X: 0, Y: 10}, 0, 1},
+		{Point{X: 25, Y: 25}, 2, 2},
+		{Point{X: 12, Y: 12}, 1, 1},
+		// Outside the indexed bounding box: clamped to border cells.
+		{Point{X: -50, Y: -50}, 0, 0},
+		{Point{X: 1e6, Y: 1e6}, 2, 2},
+	}
+	if cols, rows := g.Dims(); cols != 3 || rows != 3 {
+		t.Fatalf("Dims() = %d×%d, want 3×3", cols, rows)
+	}
+	for _, c := range cases {
+		cx, cy := g.CellOf(c.p)
+		if cx != c.cx || cy != c.cy {
+			t.Errorf("CellOf(%v) = (%d,%d), want (%d,%d)", c.p, cx, cy, c.cx, c.cy)
+		}
+	}
+}
+
+// TestGridIndexBoundaryStraddle covers points sitting exactly on cell
+// edges and queries whose disc straddles cell boundaries: candidates
+// must include everything within the radius regardless of which side of
+// an edge a point landed on.
+func TestGridIndexBoundaryStraddle(t *testing.T) {
+	// Four points around the x=10 cell boundary, plus the query origin.
+	pts := []Point{
+		{X: 9.999, Y: 5},
+		{X: 10.0, Y: 5},
+		{X: 10.001, Y: 5},
+		{X: 19.999, Y: 5},
+		{X: 5, Y: 5},
+	}
+	g := NewGridIndex(pts, 10)
+	// A radius-6 query from (5,5) spans the boundary; all five points are
+	// within or near the disc's circumscribing square.
+	got := g.Near(Point{X: 5, Y: 5}, 6)
+	for i, p := range pts {
+		if p.Distance(Point{X: 5, Y: 5}) <= 6 && !slices.Contains(got, int32(i)) {
+			t.Errorf("point %d at %v within radius but missing from candidates %v", i, p, got)
+		}
+	}
+	if !slices.IsSorted(got) {
+		t.Errorf("candidates not sorted: %v", got)
+	}
+	// A zero-radius query still returns the query point's own bucket.
+	self := g.Near(pts[4], 0)
+	if !slices.Contains(self, 4) {
+		t.Errorf("zero-radius query missing the co-located point: %v", self)
+	}
+}
+
+func TestGridIndexBucketCap(t *testing.T) {
+	// 16 points over a 10 km field with a 1 m requested cell would need
+	// 10⁸ buckets; the cap must coarsen the cell instead.
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = Point{X: float64(i) * 625, Y: float64(i%4) * 2500}
+	}
+	g := NewGridIndex(pts, 1)
+	cols, rows := g.Dims()
+	if cols*rows > maxBucketFactor*len(pts)+16 {
+		t.Fatalf("bucket cap violated: %d×%d cells for %d points", cols, rows, len(pts))
+	}
+	if g.CellSize() < 1 {
+		t.Fatalf("cell size %v shrank below the requested size", g.CellSize())
+	}
+	// Coarsening must not lose points: a full-field query sees all 16.
+	all := g.Near(Point{X: 5000, Y: 5000}, 2e4)
+	if len(all) != len(pts) {
+		t.Fatalf("full-field query returned %d of %d points", len(all), len(pts))
+	}
+}
+
+func TestGridIndexEmptyAndDegenerate(t *testing.T) {
+	g := NewGridIndex(nil, 5)
+	if got := g.Near(Point{}, 100); len(got) != 0 {
+		t.Fatalf("empty index returned candidates: %v", got)
+	}
+	// All points co-located: single bucket, everything is a candidate.
+	same := []Point{{X: 3, Y: 3}, {X: 3, Y: 3}, {X: 3, Y: 3}}
+	g = NewGridIndex(same, 5)
+	if got := g.Near(Point{X: 3, Y: 3}, 1); len(got) != 3 {
+		t.Fatalf("co-located index returned %d candidates, want 3", len(got))
+	}
+}
+
+// checkSuperset asserts the superset contract on one (points, query)
+// instance: Near(p, r) contains every index within distance r of p, in
+// sorted ascending order.
+func checkSuperset(t *testing.T, pts []Point, g *GridIndex, q Point, r float64) {
+	t.Helper()
+	got := g.Near(q, r)
+	if !slices.IsSorted(got) {
+		t.Fatalf("candidates not sorted ascending: %v", got)
+	}
+	inCand := make(map[int32]bool, len(got))
+	for _, i := range got {
+		if inCand[i] {
+			t.Fatalf("duplicate candidate %d in %v", i, got)
+		}
+		inCand[i] = true
+	}
+	for i, p := range pts {
+		if p.Distance(q) <= r && !inCand[int32(i)] {
+			t.Fatalf("point %d at %v is %.3fm from query %v (r=%.3f) but not a candidate",
+				i, p, p.Distance(q), q, r)
+		}
+	}
+}
+
+// TestGridIndexSupersetProperty fuzzes random point clouds, cell sizes,
+// and query discs against the brute-force truth.
+func TestGridIndexSupersetProperty(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e37))
+		n := 1 + rng.IntN(120)
+		span := 1 + rng.Float64()*500
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * span, Y: rng.Float64() * span}
+		}
+		cell := 0.5 + rng.Float64()*span/2
+		g := NewGridIndex(pts, cell)
+		for q := 0; q < 20; q++ {
+			// Query points both inside and well outside the cloud.
+			query := Point{
+				X: rng.Float64()*span*1.5 - span*0.25,
+				Y: rng.Float64()*span*1.5 - span*0.25,
+			}
+			r := rng.Float64() * cell // contract holds only for r ≤ cell
+			checkSuperset(t, pts, g, query, r)
+		}
+	}
+}
+
+// FuzzGridIndexSuperset drives the superset property from fuzzed query
+// coordinates and radii over a fixed jittered-grid cloud.
+func FuzzGridIndexSuperset(f *testing.F) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	pts := make([]Point, 80)
+	for i := range pts {
+		pts[i] = Point{
+			X: float64(i%9)*12 + rng.Float64()*4,
+			Y: float64(i/9)*12 + rng.Float64()*4,
+		}
+	}
+	const cell = 15.0
+	g := NewGridIndex(pts, cell)
+	f.Add(50.0, 50.0, 10.0)
+	f.Add(0.0, 0.0, 0.0)
+	f.Add(-20.0, 130.0, 15.0)
+	f.Fuzz(func(t *testing.T, x, y, r float64) {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(r) ||
+			math.Abs(x) > 1e9 || math.Abs(y) > 1e9 {
+			t.Skip()
+		}
+		if r < 0 {
+			r = -r
+		}
+		if r > cell {
+			r = cell
+		}
+		checkSuperset(t, pts, g, Point{X: x, Y: y}, r)
+	})
+}
