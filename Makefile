@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check lint test test-fault test-scale test-scale-full race fuzz test-fuzz bench bench-smoke check
+.PHONY: all build vet fmt-check lint test test-fault test-scale test-scale-full race fuzz test-fuzz bench bench-smoke profile profile-smoke check
 
 all: check
 
@@ -68,10 +68,42 @@ bench:
 
 # One-iteration smoke pass over the benchmarks that assert contracts (the
 # telemetry plane's disabled/traced split, the sink scheduler's
-# concurrency speedup, and the sparse medium's construction/per-frame
-# scaling) — fast enough for CI, still failing on regression.
+# concurrency speedup, the sparse medium's construction/per-frame
+# scaling, and the windowed aggregator's alloc-free fold) — fast enough
+# for CI, still failing on regression.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkSinkSchedulerGoodput' -benchtime=1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkMediumConstruction|BenchmarkMediumScale' -benchtime=1x ./internal/radio/
+	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorFold' -benchmem -benchtime=1x ./internal/obs/
+
+# Reference profile capture of the frame hot path: the 8-node line control
+# study (deep tree, every hop exercised) and the 1024-node grid opening.
+# Writes pprof/exec-trace captures into profiles/; inspect with
+# `go tool pprof -top -cum profiles/line_cpu.pprof`. The recorded summary
+# of a full pass lives in BENCH_profile.json.
+PROFILE_DIR ?= profiles
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/teleadjust-sim -scenario line -study control -proto retele \
+		-warmup 10m -packets 40 -interval 15s -reps 64 \
+		-cpuprofile $(PROFILE_DIR)/line_cpu.pprof \
+		-memprofile $(PROFILE_DIR)/line_mem.pprof \
+		-exectrace $(PROFILE_DIR)/line_trace.out
+	$(GO) run ./cmd/teleadjust-sim -scenario grid1k -study control -proto retele \
+		-warmup 10m -packets 24 -interval 8s -progress 2m \
+		-cpuprofile $(PROFILE_DIR)/grid1k_cpu.pprof \
+		-memprofile $(PROFILE_DIR)/grid1k_mem.pprof
+
+# CI-sized profile capture: a short line-scenario run proving the
+# -cpuprofile/-memprofile/-exectrace plumbing produces loadable captures.
+profile-smoke:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) run ./cmd/teleadjust-sim -scenario line -study control -proto retele \
+		-warmup 90s -packets 3 -interval 16s \
+		-cpuprofile $(PROFILE_DIR)/smoke_cpu.pprof \
+		-memprofile $(PROFILE_DIR)/smoke_mem.pprof \
+		-exectrace $(PROFILE_DIR)/smoke_trace.out
+	$(GO) tool pprof -top -nodecount 3 $(PROFILE_DIR)/smoke_cpu.pprof
+	$(GO) tool pprof -top -nodecount 3 -sample_index=alloc_space $(PROFILE_DIR)/smoke_mem.pprof
 
 check: build vet fmt-check test

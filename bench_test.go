@@ -31,13 +31,7 @@ import (
 	"time"
 
 	"teleadjust/internal/core"
-	"teleadjust/internal/ctp"
-	"teleadjust/internal/drip"
 	"teleadjust/internal/experiment"
-	"teleadjust/internal/mac"
-	"teleadjust/internal/radio"
-	"teleadjust/internal/rpl"
-	"teleadjust/internal/topology"
 )
 
 // benchCodingTight runs (and caches) the Tight-grid coding study.
@@ -315,27 +309,9 @@ func BenchmarkExtensionScopedDissemination(b *testing.B) {
 	}
 }
 
-// benchLineScenario is a small 8-node line used by the replication
-// benchmark: big enough to exercise multi-hop control, small enough that
-// eight replications fit in a benchmark iteration.
-func benchLineScenario(seed uint64) experiment.Scenario {
-	params := radio.DefaultParams()
-	params.ShadowSigmaDB = 0
-	s := experiment.Scenario{
-		Name:  "bench-line",
-		Dep:   topology.Line(8, 7),
-		Radio: params,
-		Mac:   mac.DefaultConfig(),
-		Ctp:   ctp.DefaultConfig(),
-		Tele:  core.DefaultConfig(),
-		Drip:  drip.DefaultConfig(),
-		Rpl:   rpl.DefaultConfig(),
-		Seed:  seed,
-	}
-	s.Tele.AllocDelay = 2 * 512 * time.Millisecond
-	s.TuneControlTimeouts(15 * time.Second)
-	return s
-}
+// benchLineScenario is the shared 8-node line (see experiment.Line); the
+// alias keeps the benchmark call sites readable.
+var benchLineScenario = experiment.Line
 
 // BenchmarkReplicationSpeedup measures the wall-clock gain of the
 // parallel replication runner: 8 independent replications of a small

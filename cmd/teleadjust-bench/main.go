@@ -14,7 +14,9 @@
 //	                           floods vs per-member unicast
 //
 // Use -exp to select one experiment, -quick for a fast pass, -csv DIR to
-// also emit plot-ready CSV files.
+// also emit plot-ready CSV files. -cpuprofile, -memprofile and -exectrace
+// bracket the selected experiments with pprof/runtime-trace captures
+// (see make profile).
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"teleadjust/internal/core"
 	"teleadjust/internal/experiment"
+	"teleadjust/internal/prof"
 )
 
 func main() {
@@ -38,17 +41,20 @@ func main() {
 }
 
 type settings struct {
-	exp      string
-	quick    bool
-	seeds    int
-	seed     uint64
-	packet   int
-	parallel int
-	reps     int
-	csvDir   string
+	exp        string
+	quick      bool
+	seeds      int
+	seed       uint64
+	packet     int
+	parallel   int
+	reps       int
+	csvDir     string
+	cpuprofile string
+	memprofile string
+	exectrace  string
 }
 
-func run() error {
+func run() (retErr error) {
 	var s settings
 	flag.StringVar(&s.exp, "exp", "all", "experiment: fig6, table2, compare26, compare19, ablation, scope, replication, all")
 	flag.BoolVar(&s.quick, "quick", false, "reduced durations and seed counts")
@@ -58,12 +64,24 @@ func run() error {
 	flag.IntVar(&s.parallel, "parallel", 0, "replication workers for multi-seed studies (0 = GOMAXPROCS, 1 = serial)")
 	flag.IntVar(&s.reps, "reps", 8, "replications for the replication speedup experiment")
 	flag.StringVar(&s.csvDir, "csv", "", "also write plot-ready CSV files into this directory")
+	flag.StringVar(&s.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	flag.StringVar(&s.memprofile, "memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.StringVar(&s.exectrace, "exectrace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 	if s.csvDir != "" {
 		if err := os.MkdirAll(s.csvDir, 0o755); err != nil {
 			return err
 		}
 	}
+	stopProf, err := prof.Start(prof.Config{CPU: s.cpuprofile, Mem: s.memprofile, Trace: s.exectrace})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	if s.quick {
 		s.seeds = 1

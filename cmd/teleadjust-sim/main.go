@@ -14,10 +14,20 @@
 //
 // Control studies can capture the unified telemetry stream: -trace
 // exports every operation-lifecycle event as JSONL (replication-merged,
-// byte-identical regardless of -parallel), and -trace-op renders the
-// per-operation span trees for one destination node to stdout. Throughput
-// studies export the sink-layer command-plane events through -trace and
-// the per-point sweep through -csv.
+// byte-identical regardless of -parallel), -trace-sample thins that
+// export to every 1-in-N operation (whole spans kept) so traces stay
+// usable on 1k-node fields, and -trace-op renders the per-operation span
+// trees for one destination node to stdout. Throughput studies export
+// the sink-layer command-plane events through -trace and the per-point
+// sweep through -csv.
+//
+// The observability surface watches a run converge: -progress prints one
+// live windowed status line per period to stderr (nodes coded/reporting,
+// ops issued/resolved/in flight, retries, radio load), and -convergence
+// writes the full depth-binned windowed report at the end. The merged
+// -convergence report from -reps > 1 is byte-identical regardless of
+// -parallel. -cpuprofile, -memprofile and -exectrace bracket the whole
+// run with pprof/runtime-trace captures (see make profile).
 //
 // Examples:
 //
@@ -26,6 +36,9 @@
 //	teleadjust-sim -scenario indoor -study control -proto rpl -reps 4 -parallel 4
 //	teleadjust-sim -scenario indoor -study control -proto retele -trace ops.jsonl
 //	teleadjust-sim -scenario indoor -study control -proto retele -trace-op 17
+//	teleadjust-sim -scenario grid1k -study control -proto retele -progress 1m -convergence conv.txt
+//	teleadjust-sim -scenario grid1k -study control -proto retele -trace ops.jsonl -trace-sample 8
+//	teleadjust-sim -scenario line -study control -proto retele -cpuprofile cpu.pprof -memprofile mem.pprof
 //	teleadjust-sim -scenario refgrid -study throughput -conc 1,2,4,8 -ops 40
 //	teleadjust-sim -scenario refgrid -study throughput -workload open -rates 0.1,0.2,0.4 -csv sweep.csv
 //	teleadjust-sim -scenario indoor -study control -proto retele -codec huffman
@@ -43,6 +56,8 @@ import (
 	"teleadjust/internal/core"
 	"teleadjust/internal/experiment"
 	"teleadjust/internal/fault"
+	"teleadjust/internal/obs"
+	"teleadjust/internal/prof"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/telemetry"
 )
@@ -80,6 +95,17 @@ type cliConfig struct {
 	traceOp  int
 	svg      string
 	plan     string
+
+	// Observability surface: the live progress period, the convergence
+	// report file, and the 1-in-N trace sampling factor.
+	progress    time.Duration
+	convergence string
+	traceSample int
+
+	// Profiling capture harness outputs ("" = off).
+	cpuprofile string
+	memprofile string
+	exectrace  string
 
 	// Throughput-study knobs ("" / 0 = not specified).
 	workload string
@@ -129,6 +155,27 @@ func (c *cliConfig) validate() error {
 	}
 	if c.traceOp >= 0 && c.study != "control" {
 		return fmt.Errorf("-trace-op applies to control studies only")
+	}
+	if c.progress < 0 {
+		return fmt.Errorf("-progress must be a positive period")
+	}
+	if c.progress > 0 && c.study != "control" {
+		return fmt.Errorf("-progress applies to control studies only")
+	}
+	if c.progress > 0 && c.reps > 1 {
+		// Replications run concurrently on the worker pool; their live
+		// lines would interleave nondeterministically. The merged
+		// -convergence report has no such restriction.
+		return fmt.Errorf("-progress requires -reps 1")
+	}
+	if c.convergence != "" && c.study != "control" {
+		return fmt.Errorf("-convergence applies to control studies only")
+	}
+	if c.traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be >= 1 (export every 1-in-N operation)")
+	}
+	if c.traceSample > 0 && c.trace == "" {
+		return fmt.Errorf("-trace-sample requires -trace")
 	}
 	if c.codec != "" {
 		if schemes {
@@ -284,9 +331,9 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (retErr error) {
 	var c cliConfig
-	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid, grid1k")
+	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid, grid1k, line")
 	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput, coding-schemes")
 	flag.StringVar(&c.proto, "proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
 	flag.StringVar(&c.codec, "codec", "", "tree-coding scheme for TeleAdjusting variants: "+strings.Join(core.CodecNames(), ", "))
@@ -301,6 +348,12 @@ func run() error {
 	flag.IntVar(&c.parallel, "parallel", 0, "replication workers (0 = GOMAXPROCS; requires -reps > 1)")
 	flag.StringVar(&c.trace, "trace", "", "write the telemetry event stream as JSONL to this file (control/throughput study)")
 	flag.IntVar(&c.traceOp, "trace-op", -1, "render operation span traces for this destination node (control study)")
+	flag.DurationVar(&c.progress, "progress", 0, "print a live windowed convergence/throughput line at this period (control study, -reps 1)")
+	flag.StringVar(&c.convergence, "convergence", "", "write the windowed convergence report to this file (control study)")
+	flag.IntVar(&c.traceSample, "trace-sample", 0, "thin the -trace export to every 1-in-N operation's events (whole spans kept)")
+	flag.StringVar(&c.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	flag.StringVar(&c.memprofile, "memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.StringVar(&c.exectrace, "exectrace", "", "write a runtime execution trace to this file")
 	flag.StringVar(&c.svg, "svg", "", "write the converged topology/tree/codes as SVG to this file")
 	flag.StringVar(&c.plan, "faultplan", "", "JSON fault plan scheduled on every replication (see EXPERIMENTS.md)")
 	flag.StringVar(&c.workload, "workload", "", "throughput loop discipline: closed (default) or open")
@@ -315,6 +368,16 @@ func run() error {
 	if err := c.validate(); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(prof.Config{CPU: c.cpuprofile, Mem: c.memprofile, Trace: c.exectrace})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	var plan *fault.Plan
 	if c.plan != "" {
@@ -397,6 +460,15 @@ func run() error {
 		opts.Packets = c.packets
 		opts.Interval = c.interval
 		opts.Trace = c.trace != "" || c.traceOp >= 0
+		opts.Window = c.progress
+		if c.convergence != "" && opts.Window == 0 {
+			// -convergence without -progress still needs a window period;
+			// 30 s matches the report/golden defaults.
+			opts.Window = 30 * time.Second
+		}
+		if c.progress > 0 {
+			opts.Progress = os.Stderr
+		}
 		var res *experiment.ControlResult
 		if c.reps == 1 {
 			res, err = experiment.RunControlStudy(scn, p, opts)
@@ -407,11 +479,28 @@ func run() error {
 			return err
 		}
 		experiment.WriteControlReport(os.Stdout, res)
-		if c.trace != "" {
-			if err := writeTrace(c.trace, res.Events); err != nil {
+		if c.convergence != "" {
+			f, err := os.Create(c.convergence)
+			if err != nil {
 				return err
 			}
-			fmt.Printf("\n%d telemetry events written to %s\n", len(res.Events), c.trace)
+			obs.WriteConvergenceReport(f, res.Convergence)
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("\nconvergence report written to %s\n", c.convergence)
+		}
+		if c.trace != "" {
+			events := res.Events
+			sampled := ""
+			if c.traceSample > 1 {
+				events = telemetry.SampleOps(events, c.traceSample)
+				sampled = fmt.Sprintf(" (1-in-%d op sample of %d)", c.traceSample, len(res.Events))
+			}
+			if err := writeTrace(c.trace, events); err != nil {
+				return err
+			}
+			fmt.Printf("\n%d telemetry events written to %s%s\n", len(events), c.trace, sampled)
 		}
 		if c.traceOp >= 0 {
 			dst := radio.NodeID(c.traceOp)
@@ -551,6 +640,8 @@ func pickScenario(name string, seed uint64) (experiment.Scenario, error) {
 		return experiment.ReferenceGrid(seed), nil
 	case "grid1k":
 		return experiment.Grid1K(seed), nil
+	case "line":
+		return experiment.Line(seed), nil
 	}
 	return experiment.Scenario{}, fmt.Errorf("unknown scenario %q", name)
 }

@@ -47,6 +47,12 @@ func TestValidateRejections(t *testing.T) {
 		{"warmup negative", func(c *cliConfig) { c.warmup = -time.Second }, "-warmup"},
 		{"trace on coding", func(c *cliConfig) { c.study = "coding"; c.trace = "x.jsonl" }, "-trace"},
 		{"trace-op on throughput", func(c *cliConfig) { c.study = "throughput"; c.traceOp = 3 }, "-trace-op"},
+		{"progress negative", func(c *cliConfig) { c.progress = -time.Minute }, "-progress"},
+		{"progress on coding", func(c *cliConfig) { c.study = "coding"; c.progress = time.Minute }, "-progress"},
+		{"progress with reps", func(c *cliConfig) { c.progress = time.Minute; c.reps = 4 }, "-reps 1"},
+		{"convergence on throughput", func(c *cliConfig) { c.study = "throughput"; c.convergence = "conv.txt" }, "-convergence"},
+		{"trace-sample negative", func(c *cliConfig) { c.trace = "x.jsonl"; c.traceSample = -2 }, "-trace-sample"},
+		{"trace-sample without trace", func(c *cliConfig) { c.traceSample = 8 }, "-trace"},
 		{"workload outside throughput", func(c *cliConfig) { c.workload = "closed" }, "-workload"},
 		{"rates outside throughput", func(c *cliConfig) { c.rates = "0.2" }, "-rates"},
 		{"conc outside throughput", func(c *cliConfig) { c.conc = "1,2" }, "-conc"},
@@ -117,6 +123,36 @@ func TestValidateAcceptsThroughputCombos(t *testing.T) {
 	replicated.parallel = 4
 	if err := replicated.validate(); err != nil {
 		t.Fatalf("replicated run rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsObservabilityCombos(t *testing.T) {
+	// The full live-run surface on a single-replication control study.
+	live := baseConfig()
+	live.progress = time.Minute
+	live.convergence = "conv.txt"
+	live.trace = "ops.jsonl"
+	live.traceSample = 8
+	live.cpuprofile = "cpu.pprof"
+	live.memprofile = "mem.pprof"
+	live.exectrace = "trace.out"
+	if err := live.validate(); err != nil {
+		t.Fatalf("observability combo rejected: %v", err)
+	}
+	// The merged convergence report stays available on replicated runs —
+	// only the live -progress stream is single-replication.
+	merged := baseConfig()
+	merged.reps = 4
+	merged.convergence = "conv.txt"
+	if err := merged.validate(); err != nil {
+		t.Fatalf("replicated -convergence rejected: %v", err)
+	}
+	// Profile captures are study-agnostic.
+	prof := baseConfig()
+	prof.study = "coding"
+	prof.cpuprofile = "cpu.pprof"
+	if err := prof.validate(); err != nil {
+		t.Fatalf("profiled coding study rejected: %v", err)
 	}
 }
 

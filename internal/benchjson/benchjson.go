@@ -1,0 +1,175 @@
+// Package benchjson is the shared schema behind the repo's committed
+// BENCH_*.json records. Every record is one Envelope: a description of
+// what was measured, the exact command, the machine environment
+// (including gomaxprocs — replication throughput is meaningless without
+// it), and named sections holding repeated samples, derived scalars and
+// free-form info. One schema means one loader, so a root-level test can
+// validate every committed record and tooling can diff runs across
+// machines without per-file parsing.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Environment pins the machine a record was captured on.
+type Environment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Date       string `json:"date"` // YYYY-MM-DD
+}
+
+// Section is one named group of measurements inside an Envelope.
+type Section struct {
+	// Note carries the prose interpretation of the numbers.
+	Note string `json:"note,omitempty"`
+	// Command overrides the envelope command when this section was
+	// captured by a different invocation.
+	Command string `json:"command,omitempty"`
+	// Info holds free-form string facts (commit hashes, benchmark names).
+	Info map[string]string `json:"info,omitempty"`
+	// Samples holds repeated raw measurements, one slice per metric
+	// (e.g. ns_per_op across -count runs), never aggregated in place.
+	Samples map[string][]float64 `json:"samples,omitempty"`
+	// Values holds derived scalars (means, counts, percentages).
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// Envelope is one complete BENCH_*.json record.
+type Envelope struct {
+	Description string             `json:"description"`
+	Command     string             `json:"command"`
+	Environment Environment        `json:"environment"`
+	Sections    map[string]Section `json:"sections"`
+}
+
+// New starts an envelope for the current machine: goos/goarch/gomaxprocs
+// from the runtime, the CPU model from the host, and the caller's
+// capture date (recorded, not sampled, so emitting is deterministic).
+func New(description, command, date string) *Envelope {
+	return &Envelope{
+		Description: description,
+		Command:     command,
+		Environment: Environment{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPU:        cpuModel(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Date:       date,
+		},
+		Sections: map[string]Section{},
+	}
+}
+
+// cpuModel reads the host CPU model name; best effort, "" when unknown.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// Validate checks the invariants every committed record must satisfy.
+func (e *Envelope) Validate() error {
+	if e.Description == "" {
+		return fmt.Errorf("benchjson: description is empty")
+	}
+	if e.Command == "" {
+		return fmt.Errorf("benchjson: command is empty")
+	}
+	env := e.Environment
+	if env.GOOS == "" || env.GOARCH == "" {
+		return fmt.Errorf("benchjson: environment is missing goos/goarch")
+	}
+	if env.GOMAXPROCS < 1 {
+		return fmt.Errorf("benchjson: environment gomaxprocs %d, want >= 1", env.GOMAXPROCS)
+	}
+	if len(env.Date) != len("2006-01-02") || strings.Count(env.Date, "-") != 2 {
+		return fmt.Errorf("benchjson: environment date %q, want YYYY-MM-DD", env.Date)
+	}
+	if len(e.Sections) == 0 {
+		return fmt.Errorf("benchjson: no sections")
+	}
+	for name, s := range e.Sections {
+		if len(s.Samples) == 0 && len(s.Values) == 0 && len(s.Info) == 0 {
+			return fmt.Errorf("benchjson: section %q has no samples, values or info", name)
+		}
+		for metric, samples := range s.Samples {
+			if len(samples) == 0 {
+				return fmt.Errorf("benchjson: section %q sample series %q is empty", name, metric)
+			}
+		}
+	}
+	return nil
+}
+
+// SectionNames returns the section names in sorted order.
+func (e *Envelope) SectionNames() []string {
+	names := make([]string, 0, len(e.Sections))
+	for name := range e.Sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Write emits the validated record as indented JSON with a trailing
+// newline, the exact on-disk format of the committed BENCH_*.json files.
+func (e *Envelope) Write(w io.Writer) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteFile emits the record to path via Write.
+func (e *Envelope) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads and validates one record. Unknown fields are an error: the
+// schema is the contract, and a misspelled key must not silently vanish.
+func Load(path string) (*Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var e Envelope
+	if err := dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &e, nil
+}

@@ -1,0 +1,115 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func sample() *Envelope {
+	e := New("test record", "go test -bench X", "2026-08-07")
+	e.Sections["latency"] = Section{
+		Note:    "three runs",
+		Samples: map[string][]float64{"ns_per_op": {100, 110, 105}},
+		Values:  map[string]float64{"mean_ms": 0.000105},
+	}
+	return e
+}
+
+func TestNewFillsEnvironment(t *testing.T) {
+	e := sample()
+	env := e.Environment
+	if env.GOOS != runtime.GOOS || env.GOARCH != runtime.GOARCH {
+		t.Fatalf("environment = %+v", env)
+	}
+	if env.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs = %d", env.GOMAXPROCS)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Envelope)
+		wantSub string
+	}{
+		{"empty description", func(e *Envelope) { e.Description = "" }, "description"},
+		{"empty command", func(e *Envelope) { e.Command = "" }, "command"},
+		{"missing goos", func(e *Envelope) { e.Environment.GOOS = "" }, "goos"},
+		{"zero gomaxprocs", func(e *Envelope) { e.Environment.GOMAXPROCS = 0 }, "gomaxprocs"},
+		{"bad date", func(e *Envelope) { e.Environment.Date = "yesterday" }, "date"},
+		{"no sections", func(e *Envelope) { e.Sections = nil }, "sections"},
+		{"empty section", func(e *Envelope) { e.Sections["hollow"] = Section{Note: "words only"} }, "hollow"},
+		{"empty sample series", func(e *Envelope) {
+			e.Sections["latency"] = Section{Samples: map[string][]float64{"ns_per_op": {}}}
+		}, "ns_per_op"},
+	}
+	for _, tc := range cases {
+		e := sample()
+		tc.mutate(e)
+		err := e.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	e := sample()
+	e.Sections["alloc"] = Section{
+		Command: "go test -bench Y -benchmem",
+		Info:    map[string]string{"benchmark": "BenchmarkY"},
+		Values:  map[string]float64{"allocs_per_op": 3},
+	}
+	if err := e.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != e.Description || got.Environment != e.Environment {
+		t.Fatalf("round trip changed envelope: %+v", got)
+	}
+	if names := got.SectionNames(); len(names) != 2 || names[0] != "alloc" || names[1] != "latency" {
+		t.Fatalf("SectionNames = %v", names)
+	}
+	s := got.Sections["latency"]
+	if len(s.Samples["ns_per_op"]) != 3 || s.Values["mean_ms"] == 0 {
+		t.Fatalf("latency section = %+v", s)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := writeString(path, `{"description":"d","command":"c","surprise":1}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("record with unknown field accepted")
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := writeString(path, `{"description":"d","command":"c","environment":{"goos":"linux","goarch":"amd64","cpu":"x","gomaxprocs":0,"date":"2026-08-07"},"sections":{"s":{"values":{"v":1}}}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "gomaxprocs") {
+		t.Fatalf("invalid record error = %v", err)
+	}
+}
+
+func writeString(path, s string) error {
+	return os.WriteFile(path, []byte(s), 0o644)
+}

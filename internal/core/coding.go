@@ -5,6 +5,7 @@ import (
 
 	"teleadjust/internal/ctp"
 	"teleadjust/internal/radio"
+	"teleadjust/internal/telemetry"
 )
 
 // buildExt assembles the TeleAdjusting state piggybacked on each routing
@@ -420,6 +421,7 @@ func (e *Engine) recomputeCode() {
 	if e.haveCode && code.Equal(e.myCode) {
 		return
 	}
+	first := !e.haveCode
 	if e.haveCode {
 		e.retireCode()
 	} else {
@@ -429,6 +431,14 @@ func (e *Engine) recomputeCode() {
 	e.haveCode = true
 	e.depth = e.parentDepth + 1
 	e.stats.CodeChanges++
+	if e.bus.Wants(telemetry.LayerCoding) {
+		kind := telemetry.KindCodeChanged
+		if first {
+			kind = telemetry.KindCodeAssigned
+		}
+		e.bus.Emit(telemetry.Event{Layer: telemetry.LayerCoding, Kind: kind,
+			Node: e.node.ID(), Hops: e.depth})
+	}
 	e.ctp.TriggerBeacon()
 	e.sendCodeReport()
 	// A late-arriving code must not stall children that were discovered
@@ -474,6 +484,11 @@ func (e *Engine) handleCollect(origin radio.NodeID, app any) {
 	switch p := app.(type) {
 	case *CodeReport:
 		e.registry[origin] = CodeInfo{Code: p.Code, Depth: p.Depth, At: e.eng.Now()}
+		if e.bus.Wants(telemetry.LayerCoding) {
+			e.bus.Emit(telemetry.Event{Layer: telemetry.LayerCoding,
+				Kind: telemetry.KindCodeReported, Node: e.node.ID(),
+				Src: origin, Hops: p.Depth})
+		}
 	case *E2EAck:
 		e.resolveAck(p)
 	case *ScopeAck:

@@ -2,9 +2,11 @@ package experiment
 
 import (
 	"errors"
+	"io"
 	"sort"
 	"time"
 
+	"teleadjust/internal/obs"
 	"teleadjust/internal/protocol"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/sim"
@@ -145,6 +147,11 @@ type ControlResult struct {
 	// (ControlOpts.Trace); merged seed runs carry their replication index
 	// in Event.Run, appended in seed order.
 	Events []telemetry.Event
+	// Convergence is the streaming windowed aggregation of the run
+	// (ControlOpts.Window): per-window per-layer rates plus the
+	// depth-binned convergence probe. Merged seed runs sum windows in
+	// seed order, keeping parallel replication byte-identical to serial.
+	Convergence *obs.Report
 }
 
 // PDR returns the overall delivery ratio.
@@ -178,6 +185,16 @@ type ControlOpts struct {
 	// events of the whole run into ControlResult.Events (deterministic,
 	// seed-merge safe; JSONL-exportable via telemetry.WriteJSONL).
 	Trace bool
+	// Window, when positive, attaches a streaming windowed aggregator to
+	// every replication's bus: the full event stream (all layers,
+	// including the coding-milestone probe) folds online into
+	// ControlResult.Convergence without retaining events — the
+	// observability path for runs too long or too large to trace.
+	Window time.Duration
+	// Progress, when non-nil with Window set, receives one live status
+	// line per closed window. Single-replication runs only: replications
+	// on a worker pool would interleave their lines nondeterministically.
+	Progress io.Writer
 }
 
 // DefaultControlOpts returns a scaled-down version of the paper's 3-hour
@@ -210,6 +227,14 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	if opts.Trace {
 		collector = telemetry.NewCollector()
 		net.Bus.Subscribe(collector, telemetry.LayerCore, telemetry.LayerRun)
+	}
+	var agg *obs.Aggregator
+	if opts.Window > 0 {
+		agg = obs.NewAggregator(net.Dep.Len(), opts.Window)
+		if opts.Progress != nil {
+			agg.OnWindow(obs.ProgressPrinter(opts.Progress, net.Dep.Len(), opts.Window))
+		}
+		agg.Attach(net.Bus)
 	}
 	if scn.OnNetBuilt != nil {
 		scn.OnNetBuilt(net)
@@ -374,6 +399,9 @@ func RunControlStudy(scn Scenario, proto Proto, opts ControlOpts) (*ControlResul
 	if collector != nil {
 		res.Events = collector.Events()
 	}
+	if agg != nil {
+		res.Convergence = agg.Finalize(net.Eng.Now())
+	}
 	return res, nil
 }
 
@@ -402,10 +430,14 @@ func mergeControlResults(results []*ControlResult) *ControlResult {
 	// its replication index, so a parallel replication's merged stream is
 	// byte-identical to the serial one.
 	var events []telemetry.Event
+	var convs []*obs.Report
 	for ri, res := range results {
 		for _, ev := range res.Events {
 			ev.Run = ri
 			events = append(events, ev)
+		}
+		if res.Convergence != nil {
+			convs = append(convs, res.Convergence)
 		}
 	}
 	for _, res := range results {
@@ -432,6 +464,7 @@ func mergeControlResults(results []*ControlResult) *ControlResult {
 	merged.TxPerPacket = txSum / float64(len(results))
 	merged.AvgDutyCycle = dutySum / float64(len(results))
 	merged.Events = events
+	merged.Convergence = obs.Merge(convs...)
 	if len(results) > 1 {
 		for k := range merged.Detail {
 			merged.Detail[k] /= float64(len(results))

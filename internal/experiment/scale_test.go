@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"teleadjust/internal/obs"
 	"teleadjust/internal/radio"
 	"teleadjust/internal/telemetry"
 )
@@ -74,6 +75,7 @@ func TestGrid1kParallelReplicationByteIdentical(t *testing.T) {
 		Interval: 10 * time.Second,
 		Drain:    12 * time.Second,
 		Trace:    true,
+		Window:   30 * time.Second,
 	}
 	serial, err := Replicator{Workers: 1}.ControlStudy(Grid1K, ProtoReTele, opts, seeds)
 	if err != nil {
@@ -103,6 +105,14 @@ func TestGrid1kParallelReplicationByteIdentical(t *testing.T) {
 	}
 	if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
 		t.Fatalf("grid1k parallel trace diverged from serial: %d vs %d bytes", sb.Len(), pb.Len())
+	}
+	sb.Reset()
+	pb.Reset()
+	obs.WriteConvergenceReport(&sb, serial.Convergence)
+	obs.WriteConvergenceReport(&pb, parallel.Convergence)
+	if sb.Len() == 0 || !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+		t.Fatalf("grid1k parallel convergence report diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			sb.String(), pb.String())
 	}
 }
 

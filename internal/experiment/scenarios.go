@@ -121,6 +121,31 @@ func Grid1K(seed uint64) Scenario {
 	}
 }
 
+// Line is the 8-node line with deterministic links (no shadowing): big
+// enough to exercise multi-hop control, small enough that many
+// replications fit in one benchmark iteration. The replication and
+// telemetry benchmarks and the profiling harness all run it, so its
+// parameters are part of the recorded BENCH_* baselines — change them
+// and the trajectories restart.
+func Line(seed uint64) Scenario {
+	params := radio.DefaultParams()
+	params.ShadowSigmaDB = 0
+	s := Scenario{
+		Name:  "bench-line",
+		Dep:   topology.Line(8, 7),
+		Radio: params,
+		Mac:   mac.DefaultConfig(),
+		Ctp:   ctp.DefaultConfig(),
+		Tele:  core.DefaultConfig(),
+		Drip:  drip.DefaultConfig(),
+		Rpl:   rpl.DefaultConfig(),
+		Seed:  seed,
+	}
+	s.Tele.AllocDelay = 2 * 512 * time.Millisecond
+	s.TuneControlTimeouts(15 * time.Second)
+	return s
+}
+
 // SparseLinear is the 225-node 60 m × 600 m "low gain" field: RefLoss
 // 42 dB shrinks the range to ~21 m, stretching the network to tens of
 // hops along the long axis.

@@ -1,0 +1,311 @@
+// Package obs is the streaming observability layer on top of the
+// telemetry bus: a time-windowed aggregator that folds the full event
+// stream into per-window, per-layer rates and a convergence probe —
+// per-node code-assignment/report milestones binned by code-tree depth —
+// without retaining any events. Long runs (the 1k–10k-node fields) stay
+// observable online: the aggregator costs O(windows + depths) memory for
+// an arbitrarily long stream and its steady-state fold is allocation-free.
+//
+// Determinism matches the rest of the plane: one aggregator serves one
+// simulation, window boundaries are fixed multiples of the period from
+// t=0, and replicated runs merge their finished reports in seed order, so
+// a parallel replication's merged report is byte-identical to a serial
+// one — the same regression bar the merged event stream already meets.
+package obs
+
+import (
+	"time"
+
+	"teleadjust/internal/telemetry"
+)
+
+// WindowStats is one closed aggregation window. Event counts are
+// per-window; the trailing gauge fields are cumulative snapshots taken at
+// window close, so a row reads as "what happened this window, and where
+// the run stood when it ended".
+type WindowStats struct {
+	// Index is the window ordinal; the window covers
+	// [Index*Period, (Index+1)*Period).
+	Index int
+	// Start is the window's opening virtual time.
+	Start time.Duration
+	// Events counts bus events per layer (indexed by telemetry.Layer).
+	Events [telemetry.NumLayers]uint64
+	// RadioTx counts frame transmissions (the per-window retransmission
+	// pressure gauge; compare against Issued for amplification).
+	RadioTx uint64
+	// Issued..Rescues count core-layer operation lifecycle milestones.
+	Issued     uint64
+	Resolved   uint64
+	Delivered  uint64
+	Retries    uint64
+	Backtracks uint64
+	Rescues    uint64
+	// Coded/Reported/Churn are convergence-probe deltas: nodes obtaining
+	// their first code, nodes first appearing in the sink registry, and
+	// code churn events within the window.
+	Coded    uint64
+	Reported uint64
+	Churn    uint64
+	// InFlight is the number of unresolved control operations at window
+	// close; CodedTotal/ReportedTotal are the cumulative unique-node
+	// convergence counts at window close.
+	InFlight      int
+	CodedTotal    int
+	ReportedTotal int
+}
+
+// DepthStats aggregates convergence milestones for one code-tree depth.
+// Sums and maxima (rather than means) keep the bins mergeable across
+// replications; the report writers derive means at render time.
+type DepthStats struct {
+	Depth int
+	// Coded/Reported count unique nodes that reached the milestone at
+	// this depth; Churn counts code changes by nodes currently at it.
+	Coded    int
+	Reported int
+	Churn    uint64
+	// CodeSum/CodeMax aggregate time-to-first-code over the bin's Coded
+	// nodes; ReportSum/ReportMax do the same for time-to-first-report.
+	CodeSum   time.Duration
+	CodeMax   time.Duration
+	ReportSum time.Duration
+	ReportMax time.Duration
+}
+
+// Report is the finished output of one (or several merged) runs.
+type Report struct {
+	// Period is the window length; Nodes the field size (including the
+	// sink); Runs the number of merged replications.
+	Period time.Duration
+	Nodes  int
+	Runs   int
+	// Windows holds every closed window in time order; merged reports sum
+	// same-index windows across runs.
+	Windows []WindowStats
+	// Depths holds the convergence bins in ascending depth order, gaps
+	// included.
+	Depths []DepthStats
+}
+
+// Aggregator is a telemetry.Sink folding the stream online. It is bound
+// to one run: events must arrive in emission order (the bus guarantees
+// this), and window rollover happens lazily when an event or Finalize
+// crosses a boundary.
+type Aggregator struct {
+	period time.Duration
+	nodes  int
+
+	cur      WindowStats
+	windows  []WindowStats
+	onWindow func(WindowStats)
+
+	inflight      int
+	codedTotal    int
+	reportedTotal int
+	coded         []bool
+	reported      []bool
+	depths        []DepthStats
+}
+
+// NewAggregator creates an aggregator for a field of the given size with
+// the given window period. The per-node milestone tables are allocated up
+// front so the fold path stays allocation-free in steady state.
+func NewAggregator(nodes int, period time.Duration) *Aggregator {
+	if period <= 0 {
+		period = 30 * time.Second
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Aggregator{
+		period:   period,
+		nodes:    nodes,
+		coded:    make([]bool, nodes),
+		reported: make([]bool, nodes),
+		depths:   make([]DepthStats, 0, 16),
+	}
+}
+
+// OnWindow registers a callback fired once per closed window, in time
+// order — the live progress surface hangs off this.
+func (a *Aggregator) OnWindow(fn func(WindowStats)) { a.onWindow = fn }
+
+// Attach subscribes the aggregator to every layer of the bus.
+func (a *Aggregator) Attach(bus *telemetry.Bus) { bus.Subscribe(a) }
+
+// Consume implements telemetry.Sink. Steady state allocates nothing: the
+// only growth is the windows slice (amortized, one append per period) and
+// the depth bins (bounded by tree depth).
+func (a *Aggregator) Consume(ev telemetry.Event) {
+	// Close every window the stream has moved past before folding the
+	// event, so cumulative snapshots reflect state exactly at each close.
+	for idx := int(ev.At / a.period); a.cur.Index < idx; {
+		a.closeWindow()
+	}
+	a.cur.Events[ev.Layer]++
+	switch ev.Kind {
+	case telemetry.KindRadioTx:
+		a.cur.RadioTx++
+	case telemetry.KindOpIssue:
+		a.cur.Issued++
+		a.inflight++
+	case telemetry.KindOpResult:
+		a.cur.Resolved++
+		a.inflight--
+	case telemetry.KindOpDelivered:
+		a.cur.Delivered++
+	case telemetry.KindOpRetry:
+		a.cur.Retries++
+	case telemetry.KindOpBacktrack:
+		a.cur.Backtracks++
+	case telemetry.KindOpRescue:
+		a.cur.Rescues++
+	case telemetry.KindCodeAssigned:
+		d := a.depthBin(int(ev.Hops))
+		if n := int(ev.Node); n < len(a.coded) && !a.coded[n] {
+			a.coded[n] = true
+			a.codedTotal++
+			a.cur.Coded++
+			d.Coded++
+			d.CodeSum += ev.At
+			if ev.At > d.CodeMax {
+				d.CodeMax = ev.At
+			}
+		}
+	case telemetry.KindCodeChanged:
+		a.cur.Churn++
+		a.depthBin(int(ev.Hops)).Churn++
+	case telemetry.KindCodeReported:
+		d := a.depthBin(int(ev.Hops))
+		if n := int(ev.Src); n < len(a.reported) && !a.reported[n] {
+			a.reported[n] = true
+			a.reportedTotal++
+			a.cur.Reported++
+			d.Reported++
+			d.ReportSum += ev.At
+			if ev.At > d.ReportMax {
+				d.ReportMax = ev.At
+			}
+		}
+	}
+}
+
+// depthBin returns the stats bin for a depth, growing the table through
+// it (growth is rare: bounded by the field's tree depth).
+func (a *Aggregator) depthBin(depth int) *DepthStats {
+	for len(a.depths) <= depth {
+		a.depths = append(a.depths, DepthStats{Depth: len(a.depths)})
+	}
+	return &a.depths[depth]
+}
+
+// closeWindow snapshots the cumulative gauges into the open window,
+// publishes it, and opens the next one.
+func (a *Aggregator) closeWindow() {
+	a.cur.InFlight = a.inflight
+	a.cur.CodedTotal = a.codedTotal
+	a.cur.ReportedTotal = a.reportedTotal
+	a.windows = append(a.windows, a.cur)
+	if a.onWindow != nil {
+		a.onWindow(a.cur)
+	}
+	a.cur = WindowStats{Index: a.cur.Index + 1,
+		Start: time.Duration(a.cur.Index+1) * a.period}
+}
+
+// Finalize closes every window through the run's end time and returns
+// the finished report. Trailing event-free windows are emitted (with
+// carried cumulative gauges), so reports of equal-length runs align
+// window for window regardless of where their last events fell.
+func (a *Aggregator) Finalize(end time.Duration) *Report {
+	last := a.cur.Index
+	if end > 0 {
+		if idx := int((end - 1) / a.period); idx > last {
+			last = idx
+		}
+	}
+	for a.cur.Index <= last {
+		a.closeWindow()
+	}
+	r := &Report{
+		Period:  a.period,
+		Nodes:   a.nodes,
+		Runs:    1,
+		Windows: a.windows,
+		Depths:  a.depths,
+	}
+	a.windows = nil
+	return r
+}
+
+// Merge combines per-replication reports in slice order (the caller
+// guarantees seed order), summing same-index windows and same-depth bins.
+// Merging in seed order keeps a parallel replication's report
+// byte-identical to a serial one. Nil reports are skipped; nil is
+// returned when nothing remains.
+func Merge(reports ...*Report) *Report {
+	var out *Report
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if out == nil {
+			c := *r
+			c.Windows = append([]WindowStats(nil), r.Windows...)
+			c.Depths = append([]DepthStats(nil), r.Depths...)
+			out = &c
+			continue
+		}
+		out.Nodes += r.Nodes
+		out.Runs += r.Runs
+		for i, w := range r.Windows {
+			for len(out.Windows) <= i {
+				n := len(out.Windows)
+				out.Windows = append(out.Windows, WindowStats{
+					Index: n, Start: time.Duration(n) * out.Period})
+			}
+			mergeWindow(&out.Windows[i], &w)
+		}
+		for _, d := range r.Depths {
+			for len(out.Depths) <= d.Depth {
+				out.Depths = append(out.Depths, DepthStats{Depth: len(out.Depths)})
+			}
+			mergeDepth(&out.Depths[d.Depth], &d)
+		}
+	}
+	return out
+}
+
+func mergeWindow(dst, src *WindowStats) {
+	for l := range dst.Events {
+		dst.Events[l] += src.Events[l]
+	}
+	dst.RadioTx += src.RadioTx
+	dst.Issued += src.Issued
+	dst.Resolved += src.Resolved
+	dst.Delivered += src.Delivered
+	dst.Retries += src.Retries
+	dst.Backtracks += src.Backtracks
+	dst.Rescues += src.Rescues
+	dst.Coded += src.Coded
+	dst.Reported += src.Reported
+	dst.Churn += src.Churn
+	dst.InFlight += src.InFlight
+	dst.CodedTotal += src.CodedTotal
+	dst.ReportedTotal += src.ReportedTotal
+}
+
+func mergeDepth(dst, src *DepthStats) {
+	dst.Coded += src.Coded
+	dst.Reported += src.Reported
+	dst.Churn += src.Churn
+	dst.CodeSum += src.CodeSum
+	dst.ReportSum += src.ReportSum
+	if src.CodeMax > dst.CodeMax {
+		dst.CodeMax = src.CodeMax
+	}
+	if src.ReportMax > dst.ReportMax {
+		dst.ReportMax = src.ReportMax
+	}
+}

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"teleadjust/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden report files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when the test runs with -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// feed drives a synthetic event stream through a real bus (so the
+// aggregator is exercised exactly as a subscriber) with a controllable
+// virtual clock.
+func feed(a *Aggregator, events []telemetry.Event) {
+	var now time.Duration
+	bus := telemetry.NewBus(func() time.Duration { return now })
+	a.Attach(bus)
+	for _, ev := range events {
+		now = ev.At
+		bus.Emit(ev)
+	}
+}
+
+func TestAggregatorWindowsAndConvergenceProbe(t *testing.T) {
+	a := NewAggregator(8, 10*time.Second)
+	feed(a, []telemetry.Event{
+		// Window 0: two nodes code at depth 1, one reports, one op issues.
+		{At: 1 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 1, Hops: 1},
+		{At: 2 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 2, Hops: 1},
+		{At: 2 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeReported, Node: 0, Src: 1, Hops: 1},
+		{At: 3 * time.Second, Layer: telemetry.LayerCore, Kind: telemetry.KindOpIssue, Node: 0, Op: 7},
+		// Window 2 (window 1 is an empty gap): depth-2 milestones, churn,
+		// the op resolves; a duplicate assignment and report must not
+		// double-count their nodes.
+		{At: 21 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 3, Hops: 2},
+		{At: 22 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeChanged, Node: 1, Hops: 1},
+		{At: 22 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 3, Hops: 2},
+		{At: 23 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeReported, Node: 0, Src: 1, Hops: 1},
+		{At: 24 * time.Second, Layer: telemetry.LayerCore, Kind: telemetry.KindOpResult, Node: 0, Op: 7, Value: 1},
+	})
+	r := a.Finalize(40 * time.Second)
+
+	if len(r.Windows) != 4 {
+		t.Fatalf("got %d windows, want 4 (finalize pads through 40s)", len(r.Windows))
+	}
+	w0 := r.Windows[0]
+	if w0.Coded != 2 || w0.Reported != 1 || w0.Issued != 1 || w0.InFlight != 1 {
+		t.Fatalf("window 0 = %+v", w0)
+	}
+	if w0.CodedTotal != 2 || w0.ReportedTotal != 1 {
+		t.Fatalf("window 0 totals = %+v", w0)
+	}
+	w1 := r.Windows[1]
+	if w1.Coded != 0 || w1.CodedTotal != 2 || w1.InFlight != 1 {
+		t.Fatalf("gap window carried wrong state: %+v", w1)
+	}
+	w2 := r.Windows[2]
+	if w2.Coded != 1 || w2.Churn != 1 || w2.Reported != 0 || w2.Resolved != 1 || w2.InFlight != 0 {
+		t.Fatalf("window 2 = %+v", w2)
+	}
+	if w2.CodedTotal != 3 || w2.ReportedTotal != 1 {
+		t.Fatalf("window 2 totals = %+v", w2)
+	}
+	w3 := r.Windows[3]
+	if w3.Start != 30*time.Second || w3.Events != ([telemetry.NumLayers]uint64{}) {
+		t.Fatalf("trailing pad window = %+v", w3)
+	}
+
+	if len(r.Depths) != 3 {
+		t.Fatalf("got %d depth bins, want 3 (0..2)", len(r.Depths))
+	}
+	d1 := r.Depths[1]
+	if d1.Coded != 2 || d1.Reported != 1 || d1.Churn != 1 {
+		t.Fatalf("depth 1 = %+v", d1)
+	}
+	if d1.CodeSum != 3*time.Second || d1.CodeMax != 2*time.Second {
+		t.Fatalf("depth 1 code times = %+v", d1)
+	}
+	if d1.ReportSum != 2*time.Second || d1.ReportMax != 2*time.Second {
+		t.Fatalf("depth 1 report times (first report only) = %+v", d1)
+	}
+	d2 := r.Depths[2]
+	if d2.Coded != 1 || d2.CodeSum != 21*time.Second {
+		t.Fatalf("depth 2 = %+v", d2)
+	}
+	if r.CodedTotal() != 3 || r.ReportedTotal() != 1 {
+		t.Fatalf("report totals: coded=%d reported=%d", r.CodedTotal(), r.ReportedTotal())
+	}
+}
+
+// TestAggregatorClosesBoundaryBeforeFold pins the rollover order: an
+// event that crosses a window boundary must close the previous window
+// first, so cumulative snapshots describe state exactly at window end.
+func TestAggregatorClosesBoundaryBeforeFold(t *testing.T) {
+	a := NewAggregator(4, 10*time.Second)
+	var got []WindowStats
+	a.OnWindow(func(w WindowStats) { got = append(got, w) })
+	feed(a, []telemetry.Event{
+		{At: 9 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 1, Hops: 1},
+		{At: 10 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 2, Hops: 1},
+	})
+	if len(got) != 1 {
+		t.Fatalf("crossing one boundary closed %d windows", len(got))
+	}
+	if got[0].CodedTotal != 1 {
+		t.Fatalf("window 0 closed with CodedTotal=%d; the boundary event leaked in", got[0].CodedTotal)
+	}
+	r := a.Finalize(20 * time.Second)
+	if r.Windows[1].Coded != 1 || r.Windows[1].CodedTotal != 2 {
+		t.Fatalf("window 1 = %+v", r.Windows[1])
+	}
+}
+
+// goldenReport is a hand-built fixture exercising every column of the
+// convergence report and CSV.
+func goldenReport() *Report {
+	r := &Report{Period: 30 * time.Second, Nodes: 10, Runs: 2}
+	w0 := WindowStats{Index: 0, Start: 0,
+		RadioTx: 240, Issued: 2, Resolved: 1, Delivered: 1, Retries: 3, Backtracks: 1,
+		Coded: 5, Reported: 2, Churn: 1, InFlight: 1, CodedTotal: 5, ReportedTotal: 2}
+	w0.Events = [telemetry.NumLayers]uint64{240, 95, 31, 2, 0, 8}
+	w1 := WindowStats{Index: 1, Start: 30 * time.Second,
+		RadioTx: 180, Issued: 1, Resolved: 2, Delivered: 1, Rescues: 1,
+		Coded: 3, Reported: 4, Churn: 2, InFlight: 0, CodedTotal: 8, ReportedTotal: 6}
+	w1.Events = [telemetry.NumLayers]uint64{180, 60, 18, 2, 0, 9}
+	r.Windows = []WindowStats{w0, w1}
+	r.Depths = []DepthStats{
+		{Depth: 0},
+		{Depth: 1, Coded: 4, Reported: 4, Churn: 1,
+			CodeSum: 40 * time.Second, CodeMax: 15 * time.Second,
+			ReportSum: 100 * time.Second, ReportMax: 30 * time.Second},
+		{Depth: 2, Coded: 4, Reported: 2, Churn: 2,
+			CodeSum: 100 * time.Second, CodeMax: 35 * time.Second,
+			ReportSum: 90 * time.Second, ReportMax: 50 * time.Second},
+	}
+	return r
+}
+
+func TestConvergenceReportGolden(t *testing.T) {
+	var buf bytes.Buffer
+	WriteConvergenceReport(&buf, goldenReport())
+	checkGolden(t, "convergence_report.golden", buf.Bytes())
+}
+
+func TestConvergenceCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteConvergenceCSV(&buf, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "convergence_csv.golden", buf.Bytes())
+}
+
+func TestMergeSumsInSliceOrder(t *testing.T) {
+	a := NewAggregator(4, 10*time.Second)
+	feed(a, []telemetry.Event{
+		{At: 1 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 1, Hops: 1},
+	})
+	ra := a.Finalize(20 * time.Second)
+	b := NewAggregator(4, 10*time.Second)
+	feed(b, []telemetry.Event{
+		{At: 1 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 2, Hops: 1},
+		{At: 11 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 3, Hops: 2},
+	})
+	rb := b.Finalize(20 * time.Second)
+
+	m := Merge(ra, rb)
+	if m.Runs != 2 || m.Nodes != 8 {
+		t.Fatalf("merged runs/nodes = %d/%d", m.Runs, m.Nodes)
+	}
+	if len(m.Windows) != 2 {
+		t.Fatalf("merged %d windows, want 2", len(m.Windows))
+	}
+	if m.Windows[0].Coded != 2 || m.Windows[1].CodedTotal != 3 {
+		t.Fatalf("merged windows = %+v", m.Windows)
+	}
+	if len(m.Depths) != 3 || m.Depths[1].Coded != 2 || m.Depths[2].Coded != 1 {
+		t.Fatalf("merged depths = %+v", m.Depths)
+	}
+	// Merge must not mutate its first input (replication results are
+	// shared with per-seed consumers).
+	if ra.Windows[0].Coded != 1 || ra.Nodes != 4 {
+		t.Fatal("Merge mutated its input report")
+	}
+	if Merge(nil, nil) != nil {
+		t.Fatal("merging nothing must yield nil")
+	}
+}
+
+func TestProgressPrinterLine(t *testing.T) {
+	var buf bytes.Buffer
+	fn := ProgressPrinter(&buf, 1024, 30*time.Second)
+	fn(WindowStats{Index: 10, Start: 300 * time.Second,
+		CodedTotal: 412, ReportedTotal: 298, Churn: 18,
+		Issued: 4, Resolved: 3, InFlight: 2, Retries: 5, RadioTx: 10234})
+	line := buf.String()
+	for _, want := range []string{"5m30s", "coded 412/1023 (40.3%)", "reporting 298",
+		"churn 18", "ops 4 issued 3 ok 2 in-flight", "retries 5 radio-tx 10234"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestFoldAllocFree is the aggregator's half of the telemetry hot-path
+// allocation contract: once the window and depth tables exist, folding
+// an event allocates nothing.
+func TestFoldAllocFree(t *testing.T) {
+	a := NewAggregator(64, 30*time.Second)
+	// Prime the depth table so steady state starts.
+	a.Consume(telemetry.Event{At: time.Second, Layer: telemetry.LayerCoding,
+		Kind: telemetry.KindCodeAssigned, Node: 1, Hops: 8})
+	events := []telemetry.Event{
+		{At: 2 * time.Second, Layer: telemetry.LayerRadio, Kind: telemetry.KindRadioTx, Node: 3},
+		{At: 2 * time.Second, Layer: telemetry.LayerCore, Kind: telemetry.KindOpIssue, Node: 0, Op: 9},
+		{At: 3 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeChanged, Node: 1, Hops: 8},
+		{At: 3 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 1, Hops: 8},
+		{At: 4 * time.Second, Layer: telemetry.LayerCore, Kind: telemetry.KindOpResult, Node: 0, Op: 9},
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, ev := range events {
+			a.Consume(ev)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fold allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
+// BenchmarkAggregatorFold measures the per-event fold cost — the price
+// the progress surface adds to every emitted event of a traced run.
+func BenchmarkAggregatorFold(b *testing.B) {
+	a := NewAggregator(1024, 30*time.Second)
+	events := []telemetry.Event{
+		{At: time.Second, Layer: telemetry.LayerRadio, Kind: telemetry.KindRadioTx, Node: 3},
+		{At: time.Second, Layer: telemetry.LayerMAC, Kind: telemetry.KindMacSendAcked, Node: 3},
+		{At: 2 * time.Second, Layer: telemetry.LayerCoding, Kind: telemetry.KindCodeAssigned, Node: 5, Hops: 4},
+		{At: 2 * time.Second, Layer: telemetry.LayerCore, Kind: telemetry.KindOpIssue, Node: 0, Op: 3},
+		{At: 3 * time.Second, Layer: telemetry.LayerCore, Kind: telemetry.KindOpResult, Node: 0, Op: 3},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Consume(events[i%len(events)])
+	}
+}

@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressPrinter returns a window callback rendering one live status
+// line per closed window — the CLI's progress surface for multi-minute
+// studies. nodes is the field size including the sink; period is the
+// aggregation window (each line is stamped with its window's end time).
+func ProgressPrinter(w io.Writer, nodes int, period time.Duration) func(WindowStats) {
+	nonSink := nodes - 1
+	if nonSink < 1 {
+		nonSink = 1
+	}
+	return func(win WindowStats) {
+		fmt.Fprintf(w, "[%8s] coded %d/%d (%.1f%%) reporting %d churn %d | ops %d issued %d ok %d in-flight | retries %d radio-tx %d\n",
+			(win.Start + period).Round(time.Second),
+			win.CodedTotal, nonSink, 100*float64(win.CodedTotal)/float64(nonSink),
+			win.ReportedTotal, win.Churn,
+			win.Issued, win.Resolved, win.InFlight,
+			win.Retries, win.RadioTx)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"teleadjust/internal/telemetry"
+)
+
+// nonSink returns the number of codable nodes (the field minus one sink
+// per run): the denominator of every convergence fraction.
+func (r *Report) nonSink() int {
+	n := r.Nodes - r.Runs
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// CodedTotal returns the cumulative unique nodes coded at the end of the
+// run (0 when no window closed).
+func (r *Report) CodedTotal() int {
+	if len(r.Windows) == 0 {
+		return 0
+	}
+	return r.Windows[len(r.Windows)-1].CodedTotal
+}
+
+// ReportedTotal returns the cumulative unique nodes in the sink registry
+// at the end of the run.
+func (r *Report) ReportedTotal() int {
+	if len(r.Windows) == 0 {
+		return 0
+	}
+	return r.Windows[len(r.Windows)-1].ReportedTotal
+}
+
+// WriteConvergenceReport renders the depth-binned convergence curve and
+// the windowed rate table: where the path-code cascade stands, how long
+// each tree level took to code and report, and what every window of the
+// run looked like across the layers.
+func WriteConvergenceReport(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "=== Convergence: %d/%d nodes coded, %d reporting (window %s, %d run(s), %d nodes) ===\n",
+		r.CodedTotal(), r.nonSink(), r.ReportedTotal(), r.Period, r.Runs, r.Nodes)
+
+	fmt.Fprintln(w, "\ncascade by code-tree depth (time to first code / first report, s):")
+	fmt.Fprintf(w, "%5s %6s %9s %6s %11s %10s %10s %10s\n",
+		"depth", "coded", "reporting", "churn", "t-code-mean", "t-code-max", "t-rep-mean", "t-rep-max")
+	for _, d := range r.Depths {
+		if d.Depth == 0 || (d.Coded == 0 && d.Reported == 0 && d.Churn == 0) {
+			continue
+		}
+		fmt.Fprintf(w, "%5d %6d %9d %6d %11s %10s %10s %10s\n",
+			d.Depth, d.Coded, d.Reported, d.Churn,
+			meanSeconds(d.CodeSum, d.Coded), seconds(d.CodeMax),
+			meanSeconds(d.ReportSum, d.Reported), seconds(d.ReportMax))
+	}
+
+	fmt.Fprintln(w, "\nwindowed rates (counts per window; totals at window close):")
+	fmt.Fprintf(w, "%4s %8s %6s %6s %6s %6s %9s %4s %4s %6s %8s %7s %7s %6s %6s\n",
+		"win", "t-start", "coded", "total", "rept'g", "churn",
+		"in-flight", "iss", "ok", "retry", "radio-tx", "mac-ev", "core-ev", "run-ev", "cd-ev")
+	for _, win := range r.Windows {
+		fmt.Fprintf(w, "%4d %8s %6d %6d %6d %6d %9d %4d %4d %6d %8d %7d %7d %6d %6d\n",
+			win.Index, seconds(win.Start), win.Coded, win.CodedTotal,
+			win.ReportedTotal, win.Churn, win.InFlight,
+			win.Issued, win.Resolved, win.Retries, win.RadioTx,
+			win.Events[telemetry.LayerMAC], win.Events[telemetry.LayerCore],
+			win.Events[telemetry.LayerRun], win.Events[telemetry.LayerCoding])
+	}
+}
+
+func seconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 1, 64)
+}
+
+func meanSeconds(sum time.Duration, n int) string {
+	if n == 0 {
+		return "n/a"
+	}
+	return strconv.FormatFloat(sum.Seconds()/float64(n), 'f', 1, 64)
+}
+
+// WriteConvergenceCSV exports the windowed aggregates, one row per
+// window with every layer's event count — the machine-readable twin of
+// the report for external plotting.
+func WriteConvergenceCSV(w io.Writer, r *Report) error {
+	cw := csv.NewWriter(w)
+	header := []string{"window", "t_start_s",
+		"coded", "coded_total", "reported", "reported_total", "churn", "in_flight",
+		"issued", "resolved", "delivered", "retries", "backtracks", "rescues", "radio_tx"}
+	for l := 0; l < telemetry.NumLayers; l++ {
+		header = append(header, "ev_"+telemetry.Layer(l).String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, win := range r.Windows {
+		rec := []string{strconv.Itoa(win.Index),
+			strconv.FormatFloat(win.Start.Seconds(), 'g', 6, 64),
+			u(win.Coded), strconv.Itoa(win.CodedTotal),
+			u(win.Reported), strconv.Itoa(win.ReportedTotal),
+			u(win.Churn), strconv.Itoa(win.InFlight),
+			u(win.Issued), u(win.Resolved), u(win.Delivered),
+			u(win.Retries), u(win.Backtracks), u(win.Rescues), u(win.RadioTx)}
+		for l := 0; l < telemetry.NumLayers; l++ {
+			rec = append(rec, u(win.Events[l]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("convergence csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartCapturesAllThree(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPU:   filepath.Join(dir, "cpu.pprof"),
+		Mem:   filepath.Join(dir, "mem.pprof"),
+		Trace: filepath.Join(dir, "trace.out"),
+	}
+	if !cfg.Enabled() {
+		t.Fatal("config with all captures reports disabled")
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A little work so the captures have something to record.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cfg.CPU, cfg.Mem, cfg.Trace} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+}
+
+func TestStartDisabledIsNoOp(t *testing.T) {
+	var cfg Config
+	if cfg.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartRejectsUnwritablePath(t *testing.T) {
+	if _, err := Start(Config{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")}); err == nil {
+		t.Fatal("unwritable cpu profile path accepted")
+	}
+}

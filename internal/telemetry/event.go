@@ -48,9 +48,19 @@ const (
 	// enqueue, admission, retry re-queues, and final completion of each
 	// scheduled control operation.
 	LayerSink
+	// LayerCoding events mark path-code cascade milestones per node: first
+	// code assignment, code churn, and the sink registry learning a node's
+	// code. A separate layer (not LayerCore) so the golden-pinned
+	// operation traces stay byte-identical when a convergence probe
+	// subscribes.
+	LayerCoding
 
-	numLayers = 5
+	numLayers = 6
 )
+
+// NumLayers is the number of defined layers; consumers aggregating
+// per-layer state size their tables with it.
+const NumLayers = int(numLayers)
 
 // String names the layer.
 func (l Layer) String() string {
@@ -65,6 +75,8 @@ func (l Layer) String() string {
 		return "run"
 	case LayerSink:
 		return "sink"
+	case LayerCoding:
+		return "coding"
 	}
 	return "layer?"
 }
@@ -116,6 +128,13 @@ const (
 	KindSinkComplete // operation resolved (Value 1 ok, 0 fail)
 	KindSinkReject   // queue full; operation refused at submit
 	KindSinkExpire   // per-op budget exhausted while still queued
+
+	// Coding-milestone layer. Hops carries the node's code-tree depth at
+	// the time of the milestone, which is what the convergence probe bins
+	// by.
+	KindCodeAssigned // node obtained its first path code
+	KindCodeChanged  // node's code churned (re-derived to a different code)
+	KindCodeReported // sink registry learned a node's code (Src = origin)
 )
 
 // String names the kind.
@@ -183,6 +202,12 @@ func (k Kind) String() string {
 		return "sink.reject"
 	case KindSinkExpire:
 		return "sink.expire"
+	case KindCodeAssigned:
+		return "code.assigned"
+	case KindCodeChanged:
+		return "code.changed"
+	case KindCodeReported:
+		return "code.reported"
 	}
 	return "unknown"
 }

@@ -1,0 +1,22 @@
+package telemetry
+
+// SampleOps thins an event stream for export by keeping every 1-in-n
+// operation: an event survives when it belongs to no operation (Op == 0 —
+// phase markers, unroutable dispatches, coding milestones) or when its
+// operation id falls in the deterministic residue class Op % n == 0.
+// Whole operation spans survive or vanish together, so span building on a
+// sampled stream still sees complete lifecycles; the same seed and n
+// always select the same events, keeping sampled exports replication- and
+// rerun-stable. n <= 1 returns the stream unchanged.
+func SampleOps(events []Event, n int) []Event {
+	if n <= 1 {
+		return events
+	}
+	out := make([]Event, 0, len(events)/n+1)
+	for _, ev := range events {
+		if ev.Op == 0 || ev.Op%uint32(n) == 0 {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

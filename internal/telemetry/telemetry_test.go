@@ -110,7 +110,7 @@ func TestLayerAndKindStrings(t *testing.T) {
 			t.Fatalf("layer %d has no name", l)
 		}
 	}
-	for k := KindRadioTx; k <= KindOpUnroutable; k++ {
+	for k := KindRadioTx; k <= KindCodeReported; k++ {
 		if s := k.String(); s == "unknown" || s == "" {
 			t.Fatalf("kind %d has no name", k)
 		}
