@@ -75,6 +75,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkSinkSchedulerGoodput' -benchtime=1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkMediumConstruction|BenchmarkMediumScale' -benchtime=1x ./internal/radio/
 	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorFold' -benchmem -benchtime=1x ./internal/obs/
+	$(GO) test -run '^$$' -bench 'BenchmarkSourceNext|BenchmarkSourceReadAt' -benchmem -benchtime=1x ./internal/noise/
+	$(GO) test -run '^$$' -bench 'BenchmarkScheduleAndRun|BenchmarkTimerRestart' -benchmem -benchtime=1x ./internal/sim/
+	$(GO) test -run 'TestScheduleAllocFree|TestSourceNextAllocFree|TestBroadcastAllocFree' ./internal/sim/ ./internal/noise/ ./internal/radio/
+	$(GO) test -run 'TestBenchSpeedTrajectory' .
 
 # Reference profile capture of the frame hot path: the 8-node line control
 # study (deep tree, every hop exercised) and the 1024-node grid opening.

@@ -1,0 +1,59 @@
+package teleadjust
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"teleadjust/internal/benchjson"
+)
+
+// TestBenchSpeedTrajectory gates the committed optimization record: the
+// ordered step sections of BENCH_speed.json must never regress. Each
+// "stepN-*" section records the hot-path metrics after one optimization
+// landed; a new step whose ns/op, allocs/op or bytes/op is worse than
+// the previous step's fails here, so the trajectory in the record is
+// guaranteed monotone and a speed claim cannot quietly rot.
+func TestBenchSpeedTrajectory(t *testing.T) {
+	rec, err := benchjson.Load("BENCH_speed.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []string
+	for name := range rec.Sections {
+		if strings.HasPrefix(name, "step") {
+			steps = append(steps, name)
+		}
+	}
+	sort.Strings(steps)
+	if len(steps) < 3 {
+		t.Fatalf("BENCH_speed.json has %d step sections %v, want a baseline plus at least 2 optimization steps", len(steps), steps)
+	}
+	for i := 1; i < len(steps); i++ {
+		prev, cur := rec.Sections[steps[i-1]], rec.Sections[steps[i]]
+		compared := 0
+		for metric, pv := range prev.Values {
+			cv, ok := cur.Values[metric]
+			if !ok {
+				continue
+			}
+			switch {
+			case strings.HasSuffix(metric, "_allocs_per_op"), strings.HasSuffix(metric, "_bytes_per_op"):
+				compared++
+				if cv > pv {
+					t.Errorf("%s → %s: %s regressed %v → %v", steps[i-1], steps[i], metric, pv, cv)
+				}
+			case strings.HasSuffix(metric, "_ns_per_op"):
+				compared++
+				// 5% headroom: wall-clock metrics carry run-to-run noise
+				// that alloc counts do not.
+				if cv > pv*1.05 {
+					t.Errorf("%s → %s: %s regressed %v → %v", steps[i-1], steps[i], metric, pv, cv)
+				}
+			}
+		}
+		if compared == 0 {
+			t.Errorf("%s → %s share no gated metrics; consecutive steps must be comparable", steps[i-1], steps[i])
+		}
+	}
+}

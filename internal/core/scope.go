@@ -56,7 +56,7 @@ type pendingScope struct {
 	scope   PathCode
 	sentAt  time.Duration
 	cb      func(ScopeResult)
-	timeout *sim.Event
+	timeout sim.EventRef
 	res     ScopeResult
 	seen    map[radio.NodeID]bool
 }

@@ -231,7 +231,7 @@ type pendingControl struct {
 	app      any
 	sentAt   time.Duration
 	cb       func(Result)
-	timeout  *sim.Event
+	timeout  sim.EventRef
 	detoured bool
 	rescued  bool
 }

@@ -91,7 +91,7 @@ type pendingCmd struct {
 	dst     radio.NodeID
 	sentAt  time.Duration
 	cb      func(Result)
-	timeout *sim.Event
+	timeout sim.EventRef
 }
 
 // Drip is one node's dissemination instance.

@@ -148,7 +148,7 @@ type rxState struct {
 	delivered bool
 	// suppressed means another node won the anycast election.
 	suppressed bool
-	ackPending *sim.Event
+	ackPending sim.EventRef
 	frame      *radio.Frame
 }
 
@@ -168,13 +168,26 @@ type MAC struct {
 
 	queue []*radio.Frame
 	cur   *outstanding
-	seq   uint32
+	// curBuf backs cur so starting a send never allocates; cur is nil or
+	// points at curBuf.
+	curBuf outstanding
+	seq    uint32
 
 	awakeForTx  bool
-	probeEvents []*sim.Event
-	idleTimer   *sim.Timer
-	ackWait     *sim.Timer
-	wakeTicker  *sim.Ticker
+	probeEvents []sim.EventRef
+	// probeIdx/probeFound track the in-progress wake-up probe sequence;
+	// probeFn/csmaFn/electFn are bound once at construction so the LPL
+	// wake-up, CSMA backoff, and ack-election hot paths schedule without
+	// allocating per-event closures (all three were top allocation sites
+	// on the recorded profiles).
+	probeIdx   int
+	probeFound bool
+	probeFn    func()
+	csmaFn     func()
+	electFn    func(any)
+	idleTimer  *sim.Timer
+	ackWait    *sim.Timer
+	wakeTicker *sim.Ticker
 
 	rx map[rxKey]*rxState
 
@@ -204,6 +217,9 @@ func New(eng *sim.Engine, r *radio.Radio, cfg Config, rng *rand.Rand, upper Uppe
 		rx:    make(map[rxKey]*rxState),
 	}
 	r.SetHandler(m)
+	m.probeFn = m.probeStep
+	m.csmaFn = m.csmaAttempt
+	m.electFn = m.runElection
 	m.idleTimer = sim.NewTimer(eng, m.idleCheck)
 	m.ackWait = sim.NewTimer(eng, m.onAckTimeout)
 	return m
@@ -282,10 +298,7 @@ func (m *MAC) Kill() {
 	// election events linger in the heap and fire later, delivering
 	// frames to a protocol stack that is supposed to be gone.
 	for _, st := range m.rx {
-		if st.ackPending != nil {
-			st.ackPending.Cancel()
-			st.ackPending = nil
-		}
+		st.ackPending.Cancel()
 	}
 	m.rx = make(map[rxKey]*rxState)
 	m.radio.ForceOff()
@@ -378,10 +391,11 @@ func (m *MAC) kick() {
 	}
 	f := m.queue[0]
 	m.queue = m.queue[1:]
-	m.cur = &outstanding{
+	m.curBuf = outstanding{
 		frame:    f,
 		deadline: m.eng.Now() + m.cfg.WakeInterval + m.cfg.StreamSlack,
 	}
+	m.cur = &m.curBuf
 	m.stats.SendsStarted++
 	m.emitMac(telemetry.KindMacSendStart, f, radio.BroadcastID, "")
 	m.awakeForTx = true
@@ -422,7 +436,7 @@ func (m *MAC) csmaAttempt() {
 func (m *MAC) backoff() {
 	d := m.cfg.BackoffMin +
 		time.Duration(m.rng.Int64N(int64(m.cfg.BackoffMax-m.cfg.BackoffMin)+1))
-	m.eng.Schedule(d, m.csmaAttempt)
+	m.eng.Schedule(d, m.csmaFn)
 }
 
 // expectsAck reports whether the frame solicits link-layer acks. All data
@@ -460,7 +474,7 @@ func (m *MAC) OnTxDone() {
 		m.finishSend(radio.BroadcastID, true)
 		return
 	}
-	m.eng.Schedule(m.cfg.BroadcastGap, m.csmaAttempt)
+	m.eng.Schedule(m.cfg.BroadcastGap, m.csmaFn)
 }
 
 func (m *MAC) ackAirtime() time.Duration {
@@ -539,9 +553,9 @@ func (m *MAC) onAck(f *radio.Frame) {
 	}
 	// Ack for someone else's frame: suppress my pending election entry.
 	key := rxKey{src: f.AckSrc, seq: f.AckSeq}
-	if st, ok := m.rx[key]; ok && st.ackPending != nil {
+	if st, ok := m.rx[key]; ok && st.ackPending.Pending() {
 		st.ackPending.Cancel()
-		st.ackPending = nil
+		st.ackPending = sim.EventRef{}
 		st.suppressed = true
 		m.stats.Suppressed++
 		m.emitMac(telemetry.KindMacSuppressed, st.frame, f.Src, "peer acked first")
@@ -551,7 +565,7 @@ func (m *MAC) onAck(f *radio.Frame) {
 func (m *MAC) onData(f *radio.Frame) {
 	key := rxKey{src: f.Src, seq: f.Seq}
 	st, seen := m.rx[key]
-	if seen && st.ackPending == nil && m.eng.Now()-st.at > m.cfg.DedupWindow {
+	if seen && !st.ackPending.Pending() && m.eng.Now()-st.at > m.cfg.DedupWindow {
 		// The dedup window has lapsed, so this is not a retransmission but
 		// a reuse of the (src,seq) pair — typically a rebooted neighbor
 		// restarting its sequence counter at 1. Forget the stale verdict
@@ -575,7 +589,7 @@ func (m *MAC) onData(f *radio.Frame) {
 				m.sendAck(f)
 			}
 			return
-		case st.ackPending != nil:
+		case st.ackPending.Pending():
 			// Election in progress from an earlier copy; let it play out.
 			return
 		default:
@@ -609,28 +623,35 @@ func (m *MAC) onData(f *radio.Frame) {
 		// yields.
 		jitter := time.Duration(m.rng.Int64N(int64(m.cfg.AckSlot / 3)))
 		delay := m.cfg.AckTurnaround + time.Duration(prio)*m.cfg.AckSlot + jitter
-		st.ackPending = m.eng.Schedule(delay, func() {
-			st.ackPending = nil
-			if m.radio.CCABusy() || m.radio.State() == radio.StateReceiving {
-				// Another contender's ack (or other traffic) owns the
-				// channel: yield the election.
-				st.suppressed = true
-				m.stats.Suppressed++
-				m.emitMac(telemetry.KindMacSuppressed, f, radio.BroadcastID, "election yield")
-				m.earlySleep()
-				return
-			}
-			m.sendAck(f)
-			st.delivered = true
-			if m.upper != nil {
-				m.upper.Deliver(f)
-			}
-			m.earlySleep()
-		})
+		st.ackPending = m.eng.ScheduleArg(delay, m.electFn, st)
 	default:
 		// Not for us: the rest of this stream is someone else's.
 		m.earlySleep()
 	}
+}
+
+// runElection is the ack-election firing for one received packet: the
+// pre-bound target of the ScheduleArg call in onData (an equivalent
+// closure would allocate per received packet).
+func (m *MAC) runElection(a any) {
+	st := a.(*rxState)
+	f := st.frame
+	st.ackPending = sim.EventRef{}
+	if m.radio.CCABusy() || m.radio.State() == radio.StateReceiving {
+		// Another contender's ack (or other traffic) owns the
+		// channel: yield the election.
+		st.suppressed = true
+		m.stats.Suppressed++
+		m.emitMac(telemetry.KindMacSuppressed, f, radio.BroadcastID, "election yield")
+		m.earlySleep()
+		return
+	}
+	m.sendAck(f)
+	st.delivered = true
+	if m.upper != nil {
+		m.upper.Deliver(f)
+	}
+	m.earlySleep()
 }
 
 // earlySleep returns to sleep immediately after handling a frame
@@ -668,7 +689,7 @@ func (m *MAC) gcRxStates() {
 	}
 	cutoff := m.eng.Now() - m.cfg.DedupWindow
 	for k, st := range m.rx {
-		if st.at < cutoff && st.ackPending == nil {
+		if st.at < cutoff && !st.ackPending.Pending() {
 			delete(m.rx, k)
 		}
 	}
@@ -682,24 +703,31 @@ func (m *MAC) wakeUp() {
 	}
 	m.radio.SetOn(true)
 	m.probeEvents = m.probeEvents[:0]
-	found := false
+	m.probeIdx = 0
+	m.probeFound = false
 	for i := 0; i < m.cfg.ProbeSamples; i++ {
-		i := i
-		ev := m.eng.Schedule(time.Duration(i)*m.cfg.ProbeSpacing, func() {
-			if found || !m.radio.On() {
-				return
-			}
-			if m.radio.CCABusy() || m.radio.State() == radio.StateReceiving {
-				found = true
-				m.bumpIdle()
-				return
-			}
-			if i == m.cfg.ProbeSamples-1 && !m.awakeForTx && !m.idleTimer.Pending() {
-				// Quiet channel: end of probe, go back to sleep.
-				m.sleep()
-			}
-		})
+		ev := m.eng.Schedule(time.Duration(i)*m.cfg.ProbeSpacing, m.probeFn)
 		m.probeEvents = append(m.probeEvents, ev)
+	}
+}
+
+// probeStep is one CCA sample of the wake-up probe. The samples fire in
+// scheduling order, so the step index is tracked on the MAC rather than
+// captured per-event (wakeUp used to allocate one closure per sample).
+func (m *MAC) probeStep() {
+	i := m.probeIdx
+	m.probeIdx++
+	if m.probeFound || !m.radio.On() {
+		return
+	}
+	if m.radio.CCABusy() || m.radio.State() == radio.StateReceiving {
+		m.probeFound = true
+		m.bumpIdle()
+		return
+	}
+	if i == m.cfg.ProbeSamples-1 && !m.awakeForTx && !m.idleTimer.Pending() {
+		// Quiet channel: end of probe, go back to sleep.
+		m.sleep()
 	}
 }
 
@@ -727,7 +755,7 @@ func (m *MAC) idleCheck() {
 
 func (m *MAC) hasPendingAcks() bool {
 	for _, st := range m.rx {
-		if st.ackPending != nil {
+		if st.ackPending.Pending() {
 			return true
 		}
 	}

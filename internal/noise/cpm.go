@@ -1,6 +1,7 @@
 package noise
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"time"
 )
@@ -15,6 +16,15 @@ const (
 // shorter histories (and finally the marginal) when a pattern was not seen
 // during training, which is the "closest pattern matching" behaviour.
 var defaultHistLens = []int{8, 4, 2, 1}
+
+// histShift is the bit width one quantized bin occupies in a packed
+// history key. quantBins < 256, so a byte per bin keeps packing injective
+// (a packed key equals the old string key byte for byte), and the longest
+// supported history is maxPackedHist bins per uint64 key.
+const (
+	histShift     = 8
+	maxPackedHist = 64 / histShift
+)
 
 // maxCatchUpSteps bounds how many 1 ms steps a lazy Source will simulate to
 // catch up with virtual time; beyond that the chain is resampled from the
@@ -44,7 +54,7 @@ func (d *dist) add(bin uint8) {
 
 func (d *dist) sample(rng *rand.Rand) uint8 {
 	if d.total == 0 {
-		return uint8(-quantMinDBm + quietFloorDBm) // quiet floor bin
+		return quantize(quietFloorDBm) // quiet floor bin
 	}
 	target := rng.Uint32N(d.total)
 	var acc uint32
@@ -57,39 +67,155 @@ func (d *dist) sample(rng *rand.Rand) uint8 {
 	return d.bins[len(d.bins)-1]
 }
 
+// patEntry is one bucket of a patTable: a packed history key and its
+// distribution slot in Model.dists (-1 marks an empty bucket). Key and
+// slot share a bucket so a probe touches one cache line, not two.
+type patEntry struct {
+	key  uint64
+	slot int32
+}
+
+// patTable is an open-addressed hash index from a packed history key to a
+// distribution slot in Model.dists. It replaces the former
+// map[string]*dist: lookups are one multiply-shift hash plus a linear
+// probe over a flat bucket array — no map machinery, no string([]byte)
+// conversion, no per-lookup allocation. Bucket count is always a power
+// of two, so probing wraps with a mask.
+type patTable struct {
+	entries []patEntry
+	mask    uint64
+	n       int
+}
+
+const patTableInitBuckets = 16
+
+// hashKey mixes a packed history key (splitmix64 finalizer) so linear
+// probing sees a uniform distribution even for near-identical histories.
+func hashKey(key uint64) uint64 {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	key *= 0x94d049bb133111eb
+	key ^= key >> 31
+	return key
+}
+
+// get returns the distribution slot for key, or -1 when the pattern was
+// never seen in training. This is the per-sample hot path.
+func (t *patTable) get(key uint64) int32 {
+	if t.n == 0 {
+		return -1
+	}
+	i := hashKey(key) & t.mask
+	for {
+		e := t.entries[i]
+		if e.slot < 0 || e.key == key {
+			return e.slot
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// put inserts key→slot, growing at 1/2 load (lookup speed over training
+// memory: probes on the per-sample path stay short). Training-time only.
+func (t *patTable) put(key uint64, slot int32) {
+	if t.entries == nil {
+		t.entries = newPatBuckets(patTableInitBuckets)
+		t.mask = patTableInitBuckets - 1
+	} else if uint64(t.n+1) > (t.mask+1)/2 {
+		t.grow()
+	}
+	i := hashKey(key) & t.mask
+	for t.entries[i].slot >= 0 {
+		i = (i + 1) & t.mask
+	}
+	t.entries[i] = patEntry{key: key, slot: slot}
+	t.n++
+}
+
+func newPatBuckets(size uint64) []patEntry {
+	entries := make([]patEntry, size)
+	for i := range entries {
+		entries[i].slot = -1
+	}
+	return entries
+}
+
+func (t *patTable) grow() {
+	old := t.entries
+	size := (t.mask + 1) * 2
+	t.entries = newPatBuckets(size)
+	t.mask = size - 1
+	for _, e := range old {
+		if e.slot < 0 {
+			continue
+		}
+		j := hashKey(e.key) & t.mask
+		for t.entries[j].slot >= 0 {
+			j = (j + 1) & t.mask
+		}
+		t.entries[j] = e
+	}
+}
+
 // Model is a trained CPM noise model. It is immutable after Train and safe
 // to share across all node Sources.
 type Model struct {
 	histLens []int
-	tables   []map[string]*dist // parallel to histLens
+	// histMask[i] selects the low histLens[i] bins of a packed rolling
+	// history; tables[i] indexes the patterns of that length.
+	histMask []uint64
+	tables   []patTable
+	// dists holds every conditional distribution, addressed by the slot
+	// values stored in tables.
+	dists    []dist
 	marginal dist
+}
+
+// histMaskFor returns the packed-key mask covering hl bins.
+func histMaskFor(hl int) uint64 {
+	if hl >= maxPackedHist {
+		return ^uint64(0)
+	}
+	return (uint64(1) << (histShift * hl)) - 1
 }
 
 // Train builds a CPM model from a noise trace (dBm samples at 1 kHz).
 func Train(trace []float64) *Model {
 	m := &Model{histLens: defaultHistLens}
-	m.tables = make([]map[string]*dist, len(m.histLens))
-	for i := range m.tables {
-		m.tables[i] = make(map[string]*dist)
+	if m.histLens[0] > maxPackedHist {
+		panic(fmt.Sprintf("noise: history length %d exceeds packed key capacity %d",
+			m.histLens[0], maxPackedHist))
 	}
+	m.histMask = make([]uint64, len(m.histLens))
+	for i, hl := range m.histLens {
+		m.histMask[i] = histMaskFor(hl)
+	}
+	m.tables = make([]patTable, len(m.histLens))
 	q := make([]uint8, len(trace))
 	for i, v := range trace {
 		q[i] = quantize(v)
 	}
+	// packed carries the most recent bins of the trace, newest in the low
+	// byte, so packed&histMask[li] is exactly the length-hl window that
+	// used to be string(q[i-hl:i]).
+	var packed uint64
 	for i, bin := range q {
 		m.marginal.add(bin)
 		for li, hl := range m.histLens {
 			if i < hl {
 				continue
 			}
-			key := string(q[i-hl : i])
-			d := m.tables[li][key]
-			if d == nil {
-				d = &dist{}
-				m.tables[li][key] = d
+			key := packed & m.histMask[li]
+			slot := m.tables[li].get(key)
+			if slot < 0 {
+				slot = int32(len(m.dists))
+				m.dists = append(m.dists, dist{})
+				m.tables[li].put(key, slot)
 			}
-			d.add(bin)
+			m.dists[slot].add(bin)
 		}
+		packed = packed<<histShift | uint64(bin)
 	}
 	return m
 }
@@ -100,7 +226,7 @@ func (m *Model) Patterns() int {
 	if len(m.tables) == 0 {
 		return 0
 	}
-	return len(m.tables[0])
+	return m.tables[0].n
 }
 
 func quantize(dbm float64) uint8 {
@@ -123,9 +249,14 @@ func dequantize(bin uint8, rng *rand.Rand) float64 {
 type Source struct {
 	model *Model
 	rng   *rand.Rand
-	hist  []uint8
-	last  float64
-	step  int64 // chain position, in SamplePeriodMS units
+	// packed is the rolling quantized history, newest bin in the low
+	// byte — the same representation the model's pattern tables key on,
+	// so one mask per history length replaces the former slice-to-string
+	// map key.
+	packed uint64
+	filled int // history bins populated (maxHist after reseed)
+	last   float64
+	step   int64 // chain position, in SamplePeriodMS units
 }
 
 // NewSource creates an independent noise stream. Different sources should
@@ -139,34 +270,35 @@ func (m *Model) NewSource(rng *rand.Rand) *Source {
 // reseed fills the history from the marginal distribution.
 func (s *Source) reseed() {
 	maxHist := s.model.histLens[0]
-	s.hist = s.hist[:0]
+	var bin uint8
 	for i := 0; i < maxHist; i++ {
-		s.hist = append(s.hist, s.model.marginal.sample(s.rng))
+		bin = s.model.marginal.sample(s.rng)
+		s.packed = s.packed<<histShift | uint64(bin)
 	}
-	s.last = dequantize(s.hist[len(s.hist)-1], s.rng)
+	s.filled = maxHist
+	s.last = dequantize(bin, s.rng)
 }
 
 // next advances the chain one step using closest-pattern matching.
 func (s *Source) next() float64 {
 	var bin uint8
 	matched := false
-	for li, hl := range s.model.histLens {
-		if hl > len(s.hist) {
+	m := s.model
+	for li, hl := range m.histLens {
+		if hl > s.filled {
 			continue
 		}
-		key := string(s.hist[len(s.hist)-hl:])
-		if d, ok := s.model.tables[li][key]; ok {
-			bin = d.sample(s.rng)
+		if slot := m.tables[li].get(s.packed & m.histMask[li]); slot >= 0 {
+			bin = m.dists[slot].sample(s.rng)
 			matched = true
 			break
 		}
 	}
 	if !matched {
-		bin = s.model.marginal.sample(s.rng)
+		bin = m.marginal.sample(s.rng)
 	}
-	// Slide history.
-	copy(s.hist, s.hist[1:])
-	s.hist[len(s.hist)-1] = bin
+	// Slide history: the shift drops the oldest bin off the top.
+	s.packed = s.packed<<histShift | uint64(bin)
 	s.last = dequantize(bin, s.rng)
 	return s.last
 }

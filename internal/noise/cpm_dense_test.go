@@ -1,0 +1,267 @@
+package noise
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"teleadjust/internal/sim"
+)
+
+// --- Reference implementation ---
+//
+// mapModel is the pre-dense-index CPM implementation, string-keyed maps
+// and all, kept verbatim as the behavioural reference: the dense model
+// must consume the RNG identically and emit bit-identical samples, or
+// every pinned scenario trace in the repo shifts.
+
+type mapModel struct {
+	histLens []int
+	tables   []map[string]*dist
+	marginal dist
+}
+
+func trainMap(trace []float64) *mapModel {
+	m := &mapModel{histLens: defaultHistLens}
+	m.tables = make([]map[string]*dist, len(m.histLens))
+	for i := range m.tables {
+		m.tables[i] = make(map[string]*dist)
+	}
+	q := make([]uint8, len(trace))
+	for i, v := range trace {
+		q[i] = quantize(v)
+	}
+	for i, bin := range q {
+		m.marginal.add(bin)
+		for li, hl := range m.histLens {
+			if i < hl {
+				continue
+			}
+			key := string(q[i-hl : i])
+			d := m.tables[li][key]
+			if d == nil {
+				d = &dist{}
+				m.tables[li][key] = d
+			}
+			d.add(bin)
+		}
+	}
+	return m
+}
+
+type mapSource struct {
+	model *mapModel
+	rng   *rand.Rand
+	hist  []uint8
+	last  float64
+}
+
+func (m *mapModel) newSource(rng *rand.Rand) *mapSource {
+	s := &mapSource{model: m, rng: rng}
+	s.reseed()
+	return s
+}
+
+func (s *mapSource) reseed() {
+	maxHist := s.model.histLens[0]
+	s.hist = s.hist[:0]
+	for i := 0; i < maxHist; i++ {
+		s.hist = append(s.hist, s.model.marginal.sample(s.rng))
+	}
+	s.last = dequantize(s.hist[len(s.hist)-1], s.rng)
+}
+
+func (s *mapSource) next() float64 {
+	var bin uint8
+	matched := false
+	for li, hl := range s.model.histLens {
+		if hl > len(s.hist) {
+			continue
+		}
+		key := string(s.hist[len(s.hist)-hl:])
+		if d, ok := s.model.tables[li][key]; ok {
+			bin = d.sample(s.rng)
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		bin = s.model.marginal.sample(s.rng)
+	}
+	copy(s.hist, s.hist[1:])
+	s.hist[len(s.hist)-1] = bin
+	s.last = dequantize(bin, s.rng)
+	return s.last
+}
+
+// TestDenseModelMatchesMapModel pins the dense-index model bit-for-bit
+// against the map-based reference on a trained trace: same pattern
+// counts, same RNG consumption, identical sample streams.
+func TestDenseModelMatchesMapModel(t *testing.T) {
+	trace := GenerateTrace(120000, 11)
+	dense := Train(trace)
+	ref := trainMap(trace)
+
+	if got, want := dense.Patterns(), len(ref.tables[0]); got != want {
+		t.Fatalf("Patterns() = %d, map reference has %d", got, want)
+	}
+	// Every table level must index the identical pattern set with
+	// identical distributions (bin order and counts, not just totals —
+	// sampling walks the bins in insertion order).
+	for li := range dense.histLens {
+		if dense.tables[li].n != len(ref.tables[li]) {
+			t.Fatalf("level %d: dense %d patterns, map %d",
+				li, dense.tables[li].n, len(ref.tables[li]))
+		}
+		for key, rd := range ref.tables[li] {
+			var packed uint64
+			for i := 0; i < len(key); i++ {
+				packed = packed<<histShift | uint64(key[i])
+			}
+			slot := dense.tables[li].get(packed)
+			if slot < 0 {
+				t.Fatalf("level %d: pattern %x missing from dense index", li, key)
+			}
+			dd := &dense.dists[slot]
+			if len(dd.bins) != len(rd.bins) || dd.total != rd.total {
+				t.Fatalf("level %d pattern %x: dense dist %v/%d, map %v/%d",
+					li, key, dd.bins, dd.total, rd.bins, rd.total)
+			}
+			for i := range dd.bins {
+				if dd.bins[i] != rd.bins[i] || dd.counts[i] != rd.counts[i] {
+					t.Fatalf("level %d pattern %x: bin slot %d differs", li, key, i)
+				}
+			}
+		}
+	}
+
+	// Identical sample streams from identically seeded RNGs, across both
+	// the plain chain and the lazy ReadAt path (catch-up and reseed).
+	const seed = 77
+	ds := dense.NewSource(sim.NewRNG(seed))
+	ms := ref.newSource(sim.NewRNG(seed))
+	for i := 0; i < 20000; i++ {
+		if dv, mv := ds.next(), ms.next(); dv != mv {
+			t.Fatalf("step %d: dense %v, map %v", i, dv, mv)
+		}
+	}
+	// Drive ReadAt through catch-up gaps of every size up to past the
+	// reseed threshold; mirror each gap on the reference chain.
+	now := ds.step
+	for gap := int64(1); gap <= maxCatchUpSteps+3; gap++ {
+		now += gap
+		dv := ds.ReadAt(time.Duration(now) * SamplePeriodMS * time.Millisecond)
+		var mv float64
+		if gap > maxCatchUpSteps {
+			ms.reseed()
+			mv = ms.last
+		} else {
+			for i := int64(0); i < gap; i++ {
+				mv = ms.next()
+			}
+		}
+		if dv != mv {
+			t.Fatalf("gap %d: dense %v, map %v", gap, dv, mv)
+		}
+	}
+}
+
+// TestEmptyDistQuietFloor covers the empty-distribution fallback: it must
+// return the properly quantized quiet-floor bin (rounded and clamped via
+// quantize), not raw float-to-uint8 arithmetic.
+func TestEmptyDistQuietFloor(t *testing.T) {
+	var d dist
+	rng := sim.NewRNG(1)
+	got := d.sample(rng)
+	want := quantize(quietFloorDBm)
+	if got != want {
+		t.Fatalf("empty dist sampled bin %d, want quantize(%v) = %d", got, quietFloorDBm, want)
+	}
+	if dbm := dequantize(got, rng); dbm < quietFloorDBm-1 || dbm > quietFloorDBm+1 {
+		t.Fatalf("empty dist bin dequantizes to %v, want ~%v", dbm, quietFloorDBm)
+	}
+	// A model trained on an empty trace has an empty marginal: every
+	// sample must sit on the quiet floor and never panic.
+	m := Train(nil)
+	src := m.NewSource(sim.NewRNG(2))
+	for i := 0; i < 10; i++ {
+		v := src.next()
+		if v < quietFloorDBm-1 || v > quietFloorDBm+1 {
+			t.Fatalf("empty-model sample %v, want quiet floor ±1", v)
+		}
+	}
+}
+
+// TestSourceNextAllocFree is the alloc contract for the per-sample hot
+// path: the dense index does zero map lookups, zero string conversions,
+// and zero allocations per chain step.
+func TestSourceNextAllocFree(t *testing.T) {
+	m := Train(GenerateTrace(50000, 3))
+	src := m.NewSource(sim.NewRNG(4))
+	if allocs := testing.AllocsPerRun(1000, func() { src.next() }); allocs != 0 {
+		t.Fatalf("Source.next allocates %v per step, want 0", allocs)
+	}
+	var tick int64
+	src2 := m.NewSource(sim.NewRNG(5))
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tick++
+		src2.ReadAt(time.Duration(tick) * SamplePeriodMS * time.Millisecond)
+	}); allocs != 0 {
+		t.Fatalf("Source.ReadAt allocates %v per step, want 0", allocs)
+	}
+}
+
+// TestSourceReadAtBoundaries pins the lazy catch-up contract: monotone
+// reads, catch-up of exactly maxCatchUpSteps steps, and a reseed at
+// maxCatchUpSteps+1.
+func TestSourceReadAtBoundaries(t *testing.T) {
+	trace := GenerateTrace(50000, 6)
+	stepAt := func(i int64) time.Duration {
+		return time.Duration(i) * SamplePeriodMS * time.Millisecond
+	}
+
+	// Monotone-time contract: same or earlier times return the current
+	// value without advancing the chain (no RNG consumption).
+	m := Train(trace)
+	src := m.NewSource(sim.NewRNG(7))
+	v := src.ReadAt(stepAt(10))
+	if src.ReadAt(stepAt(10)) != v || src.ReadAt(stepAt(3)) != v || src.ReadAt(0) != v {
+		t.Fatal("non-advancing ReadAt changed the value")
+	}
+
+	// A gap of exactly maxCatchUpSteps steps walks the chain; the result
+	// must equal stepping one at a time on a twin source.
+	walk := m.NewSource(sim.NewRNG(8))
+	jump := m.NewSource(sim.NewRNG(8))
+	walk.ReadAt(stepAt(1))
+	jump.ReadAt(stepAt(1))
+	var want float64
+	for i := int64(2); i <= 1+maxCatchUpSteps; i++ {
+		want = walk.ReadAt(stepAt(i))
+	}
+	if got := jump.ReadAt(stepAt(1 + maxCatchUpSteps)); got != want {
+		t.Fatalf("catch-up of exactly %d steps = %v, stepwise = %v", maxCatchUpSteps, got, want)
+	}
+
+	// One step beyond the cap must reseed instead: the twin that walks
+	// diverges from the twin that jumps, and the jump consumes exactly a
+	// reseed's worth of RNG (histLens[0] marginal draws + 1 dequantize).
+	jump2 := m.NewSource(sim.NewRNG(9))
+	jump2.ReadAt(stepAt(1))
+	// twin shares jump2's RNG state: after the same construction and
+	// first read, refRNG sits exactly where jump2's stream does.
+	refRNG := sim.NewRNG(9)
+	twin := m.NewSource(refRNG)
+	twin.ReadAt(stepAt(1))
+	got := jump2.ReadAt(stepAt(2 + maxCatchUpSteps))
+	// The jump crossed maxCatchUpSteps+1 steps: it must have reseeded,
+	// consuming exactly histLens[0] marginal draws plus one dequantize.
+	var bin uint8
+	for i := 0; i < defaultHistLens[0]; i++ {
+		bin = m.marginal.sample(refRNG)
+	}
+	reseedWant := dequantize(bin, refRNG)
+	if got != reseedWant {
+		t.Fatalf("catch-up of %d steps = %v, want reseed result %v", maxCatchUpSteps+1, got, reseedWant)
+	}
+}

@@ -66,6 +66,13 @@ type Medium struct {
 	jitterRNG  *rand.Rand
 	traceFn    func(TraceEvent)
 	seq        uint64 // transmission id counter
+
+	// freeTx pools transmission records (one per frame on the air), and
+	// endAirFn is the end-of-air callback bound once at construction —
+	// together they make putting a frame on the air allocation-free where
+	// it used to cost a transmission plus a per-transmission closure.
+	freeTx   []*transmission
+	endAirFn func(any)
 }
 
 // NewMedium builds a medium over the deployment. Each node gets an
@@ -91,6 +98,7 @@ func newMedium(eng *sim.Engine, dep *topology.Deployment, model *noise.Model, pa
 		params:    params,
 		jitterRNG: sim.DeriveRNG(seed, 0xf457),
 	}
+	m.endAirFn = m.endOfAir
 	switch params.GainModel {
 	case GainSweep:
 		m.buildLinksSweep(dep, seed, storeAll)
@@ -418,30 +426,47 @@ func (m *Medium) noiseAt(id NodeID, t time.Duration) float64 {
 	return total
 }
 
-// transmission is an in-flight frame on the air.
+// transmission is an in-flight frame on the air. Records are pooled by
+// the medium (freeTx); the id stays unique across reuse, so anything that
+// keys on it — the per-radio air map in particular — is stale-safe.
 type transmission struct {
-	id    uint64
-	src   NodeID
-	frame *Frame
-	power float64 // dBm at transmitter
-	end   time.Duration
+	id       uint64
+	src      NodeID
+	srcRadio *Radio
+	frame    *Frame
+	power    float64 // dBm at transmitter
+	end      time.Duration
+	// rowStart/rowEnd cache the sender's CSR link row so end-of-air
+	// revisits exactly the notified set without re-deriving it.
+	rowStart, rowEnd int32
 }
 
 // startTransmission is called by Radio.Transmit. It notifies every radio in
 // range: awake listeners lock on; everyone else records interference.
 func (m *Medium) startTransmission(src *Radio, f *Frame, powerDBm float64) *transmission {
 	m.seq++
-	tx := &transmission{
-		id:    m.seq,
-		src:   src.id,
-		frame: f,
-		power: powerDBm,
-		end:   m.eng.Now() + m.params.Airtime(f.Size),
+	var tx *transmission
+	if n := len(m.freeTx); n > 0 {
+		tx = m.freeTx[n-1]
+		m.freeTx[n-1] = nil
+		m.freeTx = m.freeTx[:n-1]
+	} else {
+		tx = new(transmission)
+	}
+	airtime := m.params.Airtime(f.Size)
+	*tx = transmission{
+		id:       m.seq,
+		src:      src.id,
+		srcRadio: src,
+		frame:    f,
+		power:    powerDBm,
+		end:      m.eng.Now() + airtime,
+		rowStart: m.linkStart[src.id],
+		rowEnd:   m.linkStart[src.id+1],
 	}
 	m.trace(TraceEvent{Kind: TraceTxStart, Node: src.id, Frame: f})
 	now := m.eng.Now()
-	rowStart, rowEnd := m.linkStart[src.id], m.linkStart[src.id+1]
-	for k := rowStart; k < rowEnd; k++ {
+	for k := tx.rowStart; k < tx.rowEnd; k++ {
 		if !m.linkNbr[k] {
 			continue
 		}
@@ -452,14 +477,23 @@ func (m *Medium) startTransmission(src *Radio, f *Frame, powerDBm float64) *tran
 		}
 		r.onAirStart(tx, rxPower)
 	}
-	m.eng.Schedule(m.params.Airtime(f.Size), func() {
-		for k := rowStart; k < rowEnd; k++ {
-			if !m.linkNbr[k] {
-				continue
-			}
-			m.radios[m.linkDst[k]].onAirEnd(tx)
-		}
-		src.txDone(tx)
-	})
+	m.eng.ScheduleArg(airtime, m.endAirFn, tx)
 	return tx
+}
+
+// endOfAir takes one transmission off the air: every notified radio gets
+// onAirEnd (adjudicating reception), the sender gets txDone, and the
+// record returns to the pool. Pre-bound as m.endAirFn so scheduling it
+// never allocates a closure.
+func (m *Medium) endOfAir(a any) {
+	tx := a.(*transmission)
+	for k := tx.rowStart; k < tx.rowEnd; k++ {
+		if !m.linkNbr[k] {
+			continue
+		}
+		m.radios[m.linkDst[k]].onAirEnd(tx)
+	}
+	tx.srcRadio.txDone(tx)
+	tx.frame, tx.srcRadio = nil, nil
+	m.freeTx = append(m.freeTx, tx)
 }

@@ -55,8 +55,13 @@ type Radio struct {
 	// while off so CCA is correct right after waking.
 	air map[uint64]float64
 
-	rx    *rxContext
-	curTx *transmission
+	// rx is the in-progress reception context, valid only while rxActive
+	// is set. It is a value field: locking onto a frame used to allocate
+	// one rxContext per audible neighbor per transmission, the largest
+	// allocation site on the recorded frame-path profiles.
+	rx       rxContext
+	rxActive bool
+	curTx    *transmission
 
 	onSince   time.Duration
 	onTime    time.Duration
@@ -109,7 +114,7 @@ func (r *Radio) SetOn(on bool) {
 		if r.state == StateTransmitting {
 			panic("radio: SetOn(false) during transmission")
 		}
-		r.rx = nil
+		r.dropRx()
 		r.state = StateOff
 		r.onTime += now - r.onSince
 	}
@@ -122,7 +127,7 @@ func (r *Radio) ForceOff() {
 	if r.State() == StateOff {
 		return
 	}
-	r.rx = nil
+	r.dropRx()
 	r.curTx = nil
 	r.onTime += r.medium.eng.Now() - r.onSince
 	r.state = StateOff
@@ -164,7 +169,7 @@ func (r *Radio) Transmit(f *Frame, powerDBm float64) error {
 	case StateTransmitting:
 		return ErrTxBusy
 	}
-	r.rx = nil
+	r.dropRx()
 	r.state = StateTransmitting
 	if f.Kind == FrameAck {
 		r.counters.TxAck++
@@ -174,6 +179,14 @@ func (r *Radio) Transmit(f *Frame, powerDBm float64) error {
 	r.txAirtime += r.medium.params.Airtime(f.Size)
 	r.curTx = r.medium.startTransmission(r, f, powerDBm)
 	return nil
+}
+
+// dropRx abandons any reception in progress. Clearing the transmission
+// pointer matters: transmission records are pooled by the medium, and an
+// abandoned context must not pin (or later falsely match) a recycled one.
+func (r *Radio) dropRx() {
+	r.rxActive = false
+	r.rx = rxContext{}
 }
 
 // Transmitting reports whether a transmission is in flight.
@@ -190,13 +203,13 @@ func (r *Radio) onAirStart(tx *transmission, rxPowerDBm float64) {
 	case StateListening:
 		if rxPowerDBm >= r.medium.params.SensitivityDBm {
 			// Lock onto this frame; everything else on the air interferes.
-			ctx := &rxContext{tx: tx, signalMW: mw}
-			ctx.maxInterfMW = r.interferenceMW(tx.id)
-			r.rx = ctx
+			r.rx = rxContext{tx: tx, signalMW: mw}
+			r.rx.maxInterfMW = r.interferenceMW(tx.id)
+			r.rxActive = true
 			r.state = StateReceiving
 		}
 	case StateReceiving:
-		if r.rx != nil {
+		if r.rxActive {
 			if i := r.interferenceMW(r.rx.tx.id); i > r.rx.maxInterfMW {
 				r.rx.maxInterfMW = i
 			}
@@ -218,11 +231,11 @@ func (r *Radio) interferenceMW(exclude uint64) float64 {
 // onAirEnd is called by the medium when a transmission leaves the air.
 func (r *Radio) onAirEnd(tx *transmission) {
 	delete(r.air, tx.id)
-	if r.State() != StateReceiving || r.rx == nil || r.rx.tx != tx {
+	if r.State() != StateReceiving || !r.rxActive || r.rx.tx != tx {
 		return
 	}
 	ctx := r.rx
-	r.rx = nil
+	r.dropRx()
 	r.state = StateListening
 	nowNoise := r.medium.noiseAt(r.id, r.medium.eng.Now())
 	snr := ctx.signalMW / (nowNoise + ctx.maxInterfMW)

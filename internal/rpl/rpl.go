@@ -95,7 +95,7 @@ type pendingDown struct {
 	dst     radio.NodeID
 	sentAt  time.Duration
 	cb      func(Result)
-	timeout *sim.Event
+	timeout sim.EventRef
 }
 
 type inflight struct {

@@ -16,35 +16,76 @@ import (
 // Stop before the run limit was reached.
 var ErrStopped = errors.New("sim: engine stopped")
 
-// Event is a scheduled callback. It is returned by Schedule so callers can
-// cancel it before it fires.
+// Event lifecycle states. An event is pending from scheduling until it
+// fires or is cancelled; fired and cancelled events return to the
+// engine's free list for reuse, which bumps their generation so stale
+// EventRef handles can never act on the recycled object.
+const (
+	eventPending uint8 = iota + 1
+	eventFired
+	eventCancelled
+)
+
+// Event is a pooled scheduled callback. Callers never hold *Event
+// directly: Schedule returns an EventRef whose generation pins the
+// specific scheduling this handle refers to.
 type Event struct {
-	at   time.Duration
-	seq  uint64
-	fn   func()
-	idx  int // heap index; -1 when not queued
-	dead bool
-	eng  *Engine
+	at  time.Duration
+	seq uint64
+	// fn is the zero-argument callback; when nil, argFn(arg) runs
+	// instead. The two-field form lets hot paths schedule a pre-bound
+	// method plus argument without allocating a fresh closure per event.
+	fn    func()
+	argFn func(any)
+	arg   any
+	idx   int // heap index; -1 when not queued
+	state uint8
+	gen   uint64
+	eng   *Engine
 }
 
-// At reports the virtual time this event is (or was) scheduled to fire.
-func (e *Event) At() time.Duration { return e.at }
+// EventRef is a cancellable handle to one scheduled event. The zero value
+// is an idle handle: Cancel and Pending on it are no-ops. Refs are
+// generation-checked, so holding one past its event's firing or
+// cancellation is always safe — the event object may already be serving
+// a later scheduling, and a stale ref will not touch it.
+type EventRef struct {
+	e   *Event
+	gen uint64
+}
+
+// valid reports whether the ref still addresses the scheduling it was
+// created for (the event object has not been recycled since).
+func (r EventRef) valid() bool { return r.e != nil && r.e.gen == r.gen }
+
+// At reports the virtual time this event is scheduled to fire, or 0 when
+// the ref is stale or idle.
+func (r EventRef) At() time.Duration {
+	if !r.valid() {
+		return 0
+	}
+	return r.e.at
+}
 
 // Cancel prevents the event from firing and removes it from the engine's
 // heap immediately via its stored index, so cancelled events do not linger
 // until popped. Cancelling an already-fired or already-cancelled event is a
-// no-op. Cancel reports whether the event was still pending.
-func (e *Event) Cancel() bool {
-	if e == nil || e.dead || e.idx < 0 {
+// no-op, as is cancelling through a stale or zero ref. Cancel reports
+// whether the event was still pending.
+func (r EventRef) Cancel() bool {
+	if !r.valid() || r.e.state != eventPending || r.e.idx < 0 {
 		return false
 	}
-	e.dead = true
+	e := r.e
 	heap.Remove(&e.eng.queue, e.idx)
+	e.eng.release(e, eventCancelled)
 	return true
 }
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.dead && e.idx >= 0 }
+func (r EventRef) Pending() bool {
+	return r.valid() && r.e.state == eventPending && r.e.idx >= 0
+}
 
 // Engine is a discrete-event scheduler with a virtual clock. The zero value
 // is not usable; construct with NewEngine.
@@ -56,6 +97,11 @@ type Engine struct {
 	seq     uint64
 	queue   eventQueue
 	stopped bool
+
+	// free is the event pool: fired and cancelled events are recycled
+	// here instead of garbage. Pool order never affects behaviour —
+	// dispatch order depends only on (at, seq).
+	free []*Event
 
 	// processed counts events dispatched since construction.
 	processed uint64
@@ -75,36 +121,75 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Schedule enqueues fn to run after delay (relative to Now). A negative
 // delay is treated as zero. Events scheduled for the same instant fire in
 // scheduling order.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, fn func()) EventRef {
 	if fn == nil {
 		panic("sim: Schedule called with nil function")
 	}
 	if delay < 0 {
 		delay = 0
 	}
-	return e.scheduleAt(e.now+delay, fn)
+	return e.scheduleAt(e.now+delay, fn, nil, nil)
+}
+
+// ScheduleArg enqueues fn(arg) to run after delay. It behaves exactly
+// like Schedule but keeps hot paths allocation-free: a pre-bound
+// func(any) plus a pointer-typed arg costs nothing per call, where an
+// equivalent fresh closure would allocate on every scheduling.
+func (e *Engine) ScheduleArg(delay time.Duration, fn func(any), arg any) EventRef {
+	if fn == nil {
+		panic("sim: ScheduleArg called with nil function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return e.scheduleAt(e.now+delay, nil, fn, arg)
 }
 
 // ScheduleAt enqueues fn to run at the absolute virtual time at. Times in
 // the past are clamped to Now.
-func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) EventRef {
 	if fn == nil {
 		panic("sim: ScheduleAt called with nil function")
 	}
 	if at < e.now {
 		at = e.now
 	}
-	return e.scheduleAt(at, fn)
+	return e.scheduleAt(at, fn, nil, nil)
 }
 
-func (e *Engine) scheduleAt(at time.Duration, fn func()) *Event {
-	ev := &Event{at: at, seq: e.seq, fn: fn, idx: -1, eng: e}
+func (e *Engine) scheduleAt(at time.Duration, fn func(), argFn func(any), arg any) EventRef {
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{eng: e}
+	}
+	ev.at, ev.seq = at, e.seq
+	ev.fn, ev.argFn, ev.arg = fn, argFn, arg
+	ev.state = eventPending
 	e.seq++
 	heap.Push(&e.queue, ev)
-	return ev
+	return EventRef{e: ev, gen: ev.gen}
+}
+
+// release marks an event fired or cancelled and returns it to the pool.
+// The generation bump invalidates every outstanding EventRef to this
+// scheduling; clearing the callback fields drops closure references so
+// the pool retains no object graphs.
+func (e *Engine) release(ev *Event, state uint8) {
+	ev.state = state
+	ev.gen++
+	ev.fn, ev.argFn, ev.arg = nil, nil, nil
+	ev.idx = -1
+	e.free = append(e.free, ev)
 }
 
 // Stop makes the current Run return after the in-flight event completes.
+// The stop request is persistent until observed: if no Run is in
+// progress, the next Run (or RunAll) call returns ErrStopped immediately
+// and clears the request, rather than silently dropping it.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run dispatches events in timestamp order until the queue is empty or the
@@ -124,13 +209,18 @@ func (e *Engine) RunAll(maxEvents uint64) error {
 // limits the virtual clock to until (advancing it there on return);
 // maxEvents > 0 bounds the number of dispatched events. Both paths enforce
 // clock monotonicity: a popped event timestamped before the clock is a
-// scheduler bug and aborts the run.
+// scheduler bug and aborts the run. A pending Stop — whether issued
+// mid-run or between runs — is observed at the first opportunity,
+// cleared, and reported as ErrStopped.
 func (e *Engine) dispatch(until time.Duration, haveHorizon bool, maxEvents uint64) error {
-	e.stopped = false
 	start := e.processed
-	for e.queue.Len() > 0 {
+	for {
 		if e.stopped {
+			e.stopped = false
 			return ErrStopped
+		}
+		if e.queue.Len() == 0 {
+			break
 		}
 		next := e.queue[0]
 		if haveHorizon && next.at > until {
@@ -143,9 +233,9 @@ func (e *Engine) dispatch(until time.Duration, haveHorizon bool, maxEvents uint6
 			return fmt.Errorf("sim: exceeded %d events", maxEvents)
 		}
 		heap.Pop(&e.queue)
-		if next.dead {
-			// Defensive: Cancel removes events eagerly, so dead events
-			// should never surface here.
+		if next.state != eventPending {
+			// Defensive: Cancel removes events eagerly, so non-pending
+			// events should never surface here.
 			continue
 		}
 		if next.at < e.now {
@@ -154,7 +244,12 @@ func (e *Engine) dispatch(until time.Duration, haveHorizon bool, maxEvents uint6
 		e.now = next.at
 		next.idx = -1
 		e.processed++
-		next.fn()
+		if next.fn != nil {
+			next.fn()
+		} else {
+			next.argFn(next.arg)
+		}
+		e.release(next, eventFired)
 	}
 	if haveHorizon && e.now < until {
 		e.now = until

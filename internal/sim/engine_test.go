@@ -353,15 +353,18 @@ func TestEventAccessors(t *testing.T) {
 	if ev.Pending() {
 		t.Fatal("fired event still pending")
 	}
-	var nilEv *Event
-	if nilEv.Cancel() {
-		t.Fatal("nil event cancel returned true")
+	var zeroEv EventRef
+	if zeroEv.Cancel() {
+		t.Fatal("zero-ref cancel returned true")
+	}
+	if zeroEv.Pending() {
+		t.Fatal("zero-ref reports pending")
 	}
 }
 
 func TestCancelRemovesFromQueue(t *testing.T) {
 	eng := NewEngine()
-	events := make([]*Event, 100)
+	events := make([]EventRef, 100)
 	for i := range events {
 		events[i] = eng.Schedule(time.Duration(i+1)*time.Millisecond, func() {})
 	}
@@ -392,7 +395,7 @@ func TestCancelRemovesFromQueue(t *testing.T) {
 func TestCancelledEventNeverFires(t *testing.T) {
 	eng := NewEngine()
 	count := 0
-	var evs []*Event
+	var evs []EventRef
 	for i := 0; i < 10; i++ {
 		evs = append(evs, eng.Schedule(time.Millisecond, func() { count++ }))
 	}

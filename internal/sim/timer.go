@@ -8,7 +8,11 @@ import "time"
 type Timer struct {
 	eng *Engine
 	fn  func()
-	ev  *Event
+	// fire is the scheduled callback, bound once at construction so
+	// re-arming the timer never allocates a fresh closure (Timer.Start
+	// was one of the top allocation sites on the recorded profiles).
+	fire func()
+	ev   EventRef
 }
 
 // NewTimer creates a stopped timer that runs fn when it fires.
@@ -16,37 +20,37 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	if eng == nil || fn == nil {
 		panic("sim: NewTimer requires engine and function")
 	}
-	return &Timer{eng: eng, fn: fn}
+	t := &Timer{eng: eng, fn: fn}
+	t.fire = func() {
+		t.ev = EventRef{}
+		t.fn()
+	}
+	return t
 }
 
 // Start (re)arms the timer to fire after d. Any pending firing is cancelled.
 func (t *Timer) Start(d time.Duration) {
 	t.Stop()
-	t.ev = t.eng.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.eng.Schedule(d, t.fire)
 }
 
 // Stop cancels a pending firing. It reports whether a firing was pending.
 func (t *Timer) Stop() bool {
-	if t.ev == nil {
-		return false
-	}
 	ok := t.ev.Cancel()
-	t.ev = nil
+	t.ev = EventRef{}
 	return ok
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+func (t *Timer) Pending() bool { return t.ev.Pending() }
 
 // Ticker fires fn every period until stopped.
 type Ticker struct {
 	eng    *Engine
 	fn     func()
+	tickFn func() // t.tick, bound once so periodic re-arming never allocates
 	period time.Duration
-	ev     *Event
+	ev     EventRef
 	on     bool
 }
 
@@ -58,7 +62,9 @@ func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
 	if period <= 0 {
 		panic("sim: NewTicker requires positive period")
 	}
-	return &Ticker{eng: eng, fn: fn, period: period}
+	t := &Ticker{eng: eng, fn: fn, period: period}
+	t.tickFn = t.tick
+	return t
 }
 
 // Start begins ticking; the first tick fires one period from now.
@@ -77,11 +83,11 @@ func (t *Ticker) StartWithOffset(offset time.Duration) {
 		return
 	}
 	t.on = true
-	t.ev = t.eng.Schedule(offset, t.tick)
+	t.ev = t.eng.Schedule(offset, t.tickFn)
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.eng.Schedule(t.period, t.tick)
+	t.ev = t.eng.Schedule(t.period, t.tickFn)
 }
 
 func (t *Ticker) tick() {
@@ -95,8 +101,6 @@ func (t *Ticker) tick() {
 // Stop halts the ticker. It may be restarted with Start.
 func (t *Ticker) Stop() {
 	t.on = false
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.ev.Cancel()
+	t.ev = EventRef{}
 }

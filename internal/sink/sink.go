@@ -151,7 +151,7 @@ type opState struct {
 	retries  int
 	attempts int
 	deadline time.Duration // 0 = none
-	expire   *sim.Event
+	expire   sim.EventRef
 
 	enqueuedAt time.Duration
 	admittedAt time.Duration
@@ -400,10 +400,8 @@ func (s *Scheduler) finish(op *opState, opErr error) {
 		return
 	}
 	op.finished = true
-	if op.expire != nil {
-		op.expire.Cancel()
-		op.expire = nil
-	}
+	op.expire.Cancel()
+	op.expire = sim.EventRef{}
 	now := s.eng.Now()
 	ok := opErr == nil && op.lastResult.OK
 	if ok {

@@ -47,8 +47,8 @@ type Timer struct {
 	counter  int
 	running  bool
 
-	fireEv *sim.Event
-	endEv  *sim.Event
+	fireEv sim.EventRef
+	endEv  sim.EventRef
 }
 
 // New creates a stopped Trickle timer that calls fn on each unsuppressed
@@ -73,14 +73,7 @@ func (t *Timer) Start() {
 // Stop halts the timer.
 func (t *Timer) Stop() {
 	t.running = false
-	if t.fireEv != nil {
-		t.fireEv.Cancel()
-		t.fireEv = nil
-	}
-	if t.endEv != nil {
-		t.endEv.Cancel()
-		t.endEv = nil
-	}
+	t.cancelInterval()
 }
 
 // Running reports whether the timer is active.
@@ -112,14 +105,10 @@ func (t *Timer) Reset() {
 }
 
 func (t *Timer) cancelInterval() {
-	if t.fireEv != nil {
-		t.fireEv.Cancel()
-		t.fireEv = nil
-	}
-	if t.endEv != nil {
-		t.endEv.Cancel()
-		t.endEv = nil
-	}
+	t.fireEv.Cancel()
+	t.fireEv = sim.EventRef{}
+	t.endEv.Cancel()
+	t.endEv = sim.EventRef{}
 }
 
 func (t *Timer) beginInterval() {
@@ -127,7 +116,7 @@ func (t *Timer) beginInterval() {
 	half := t.interval / 2
 	fireAt := half + time.Duration(t.rng.Int64N(int64(t.interval-half)))
 	t.fireEv = t.eng.Schedule(fireAt, func() {
-		t.fireEv = nil
+		t.fireEv = sim.EventRef{}
 		if !t.running {
 			return
 		}
@@ -136,7 +125,7 @@ func (t *Timer) beginInterval() {
 		}
 	})
 	t.endEv = t.eng.Schedule(t.interval, func() {
-		t.endEv = nil
+		t.endEv = sim.EventRef{}
 		if !t.running {
 			return
 		}
