@@ -55,7 +55,8 @@ FUZZTIME ?= 5s
 fuzz:
 	@for t in FuzzDecodeCode FuzzUnmarshalExt FuzzUnmarshalControl \
 		FuzzUnmarshalFeedback FuzzUnmarshalCodeReport FuzzUnmarshalE2EAck \
-		FuzzControlEncode FuzzExtEncode FuzzExtEncodeLabels FuzzCodecLabels; do \
+		FuzzControlEncode FuzzExtEncode FuzzExtEncodeLabels FuzzCodecLabels \
+		FuzzBatchControlWire; do \
 		$(GO) test ./internal/core/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 	$(GO) test ./internal/fault/ -run '^$$' -fuzz '^FuzzParsePlan$$' -fuzztime $(FUZZTIME)
@@ -72,7 +73,7 @@ bench:
 # scaling, and the windowed aggregator's alloc-free fold) — fast enough
 # for CI, still failing on regression.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkSinkSchedulerGoodput' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetryOverhead|BenchmarkSinkSchedulerGoodput|BenchmarkCmdSvcBatching' -benchtime=1x .
 	$(GO) test -run '^$$' -bench 'BenchmarkMediumConstruction|BenchmarkMediumScale' -benchtime=1x ./internal/radio/
 	$(GO) test -run '^$$' -bench 'BenchmarkAggregatorFold' -benchmem -benchtime=1x ./internal/obs/
 	$(GO) test -run '^$$' -bench 'BenchmarkSourceNext|BenchmarkSourceReadAt' -benchmem -benchtime=1x ./internal/noise/

@@ -428,6 +428,43 @@ func BenchmarkSinkSchedulerGoodput(b *testing.B) {
 	}
 }
 
+// BenchmarkCmdSvcBatching measures the command service against its
+// transparent baseline on the reference grid — the exact default
+// `-study service -proto teleadjust` ramp, asserted at the top offered
+// rate. The contract — service goodput strictly above the unbatched
+// baseline at overload — is what justifies the service front-end:
+// prefix batching, route-freshness caching, and delay-pacing must buy
+// completed operations per second, not just queue machinery. The run is
+// the full default study deliberately: per-point outcomes are one
+// Poisson realization, so a cheaper reduced-op variant would pin a
+// different (and meaningless) draw. The committed capture lives in
+// BENCH_service.json.
+func BenchmarkCmdSvcBatching(b *testing.B) {
+	opts := experiment.DefaultServiceOpts()
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunServiceStudy(
+			experiment.ReferenceGrid(1), experiment.ProtoTeleAdjust, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt := res.Points[len(res.Points)-1]
+		if pt.OKBase == 0 || pt.OKSvc == 0 {
+			b.Fatalf("no completions: %+v", pt)
+		}
+		if pt.GoodputSvc <= pt.GoodputBase {
+			b.Fatalf("service goodput %.4f ops/s does not beat baseline %.4f ops/s",
+				pt.GoodputSvc, pt.GoodputBase)
+		}
+		if pt.Batches == 0 {
+			b.Fatal("batcher flushed no multi-member carriers")
+		}
+		b.ReportMetric(pt.GoodputBase, "ops/s-base")
+		b.ReportMetric(pt.GoodputSvc, "ops/s-svc")
+		b.ReportMetric(pt.Speedup(), "x-speedup")
+		b.ReportMetric(pt.CacheHitRate(), "cache-hit")
+	}
+}
+
 // BenchmarkAblationWakeInterval sweeps the LPL wake-up interval (the
 // paper fixes 512 ms) and reports the latency/energy trade-off.
 func BenchmarkAblationWakeInterval(b *testing.B) {

@@ -3,7 +3,10 @@
 // reverse hops), a control study (PDR, latency, duty cycle, transmission
 // counts) for one protocol, a scoped-dissemination study, a throughput
 // study sweeping offered control load through the sink command plane, or
-// a coding-schemes study comparing tree-coding codecs side by side.
+// a coding-schemes study comparing tree-coding codecs side by side, or a
+// command-service study ramping open-loop load through the persistent
+// sink front-end (prefix batching, route-freshness cache, backpressure)
+// against a transparent baseline.
 // With -reps > 1 the study is replicated over consecutive seeds and the
 // replications run concurrently on -parallel workers; the merged result
 // is identical to a serial run.
@@ -41,6 +44,8 @@
 //	teleadjust-sim -scenario line -study control -proto retele -cpuprofile cpu.pprof -memprofile mem.pprof
 //	teleadjust-sim -scenario refgrid -study throughput -conc 1,2,4,8 -ops 40
 //	teleadjust-sim -scenario refgrid -study throughput -workload open -rates 0.1,0.2,0.4 -csv sweep.csv
+//	teleadjust-sim -scenario refgrid -study service -rates 0.5,1.8 -dist hotspot -csv svc.csv
+//	teleadjust-sim -scenario refgrid -study service -queue-depth 32 -high-water 24 -shed delay
 //	teleadjust-sim -scenario indoor -study control -proto retele -codec huffman
 //	teleadjust-sim -scenario refgrid,sparse -study coding-schemes -csv codecs.csv
 package main
@@ -115,6 +120,17 @@ type cliConfig struct {
 	dist     string
 	window   int
 	csv      string
+
+	// Command-service study knobs (-study service); -1 / "" = not
+	// specified, explicit 0 disables the feature.
+	batchWindow time.Duration
+	batchBits   int
+	maxBatch    int
+	cacheTTL    time.Duration
+	cacheCap    int
+	queueDepth  int
+	highWater   int
+	shed        string
 }
 
 // validate fails fast on flag combinations that would otherwise be
@@ -150,8 +166,28 @@ func (c *cliConfig) validate() error {
 	}
 	throughput := c.study == "throughput"
 	schemes := c.study == "coding-schemes"
-	if c.trace != "" && c.study != "control" && !throughput {
-		return fmt.Errorf("-trace applies to control and throughput studies only")
+	service := c.study == "service"
+	if !service {
+		for _, sf := range []struct {
+			name string
+			set  bool
+		}{
+			{"-batch-window", c.batchWindow >= 0},
+			{"-batch-bits", c.batchBits >= 0},
+			{"-max-batch", c.maxBatch >= 0},
+			{"-cache-ttl", c.cacheTTL >= 0},
+			{"-cache-cap", c.cacheCap >= 0},
+			{"-queue-depth", c.queueDepth >= 0},
+			{"-high-water", c.highWater >= 0},
+			{"-shed", c.shed != ""},
+		} {
+			if sf.set {
+				return fmt.Errorf("%s applies to command-service studies only (-study service)", sf.name)
+			}
+		}
+	}
+	if c.trace != "" && c.study != "control" && !throughput && !service {
+		return fmt.Errorf("-trace applies to control, throughput, and service studies only")
 	}
 	if c.traceOp >= 0 && c.study != "control" {
 		return fmt.Errorf("-trace-op applies to control studies only")
@@ -210,6 +246,35 @@ func (c *cliConfig) validate() error {
 		}
 		return nil
 	}
+	if service {
+		if c.workload != "" {
+			return fmt.Errorf("-workload does not apply to service studies: the command service is always driven open-loop")
+		}
+		if c.conc != "" {
+			return fmt.Errorf("-conc does not apply to service studies: sweep offered load with -rates instead")
+		}
+		switch c.shed {
+		case "", "reject", "delay":
+		default:
+			return fmt.Errorf("unknown -shed policy %q: reject or delay", c.shed)
+		}
+		if c.batchBits > 56 {
+			return fmt.Errorf("-batch-bits must be <= 56 (prefix key width)")
+		}
+		if c.maxBatch >= 0 && (c.maxBatch < 2 || c.maxBatch > core.MaxBatchMembers) {
+			return fmt.Errorf("-max-batch must be between 2 and %d (wire member bound)", core.MaxBatchMembers)
+		}
+		if c.queueDepth > 0 && c.highWater > c.queueDepth {
+			return fmt.Errorf("-high-water must not exceed -queue-depth: the hard bound would shed before the soft one engages")
+		}
+		if c.ops < 0 {
+			return fmt.Errorf("-ops must be >= 1")
+		}
+		if c.window < 0 {
+			return fmt.Errorf("-window must be >= 1")
+		}
+		return nil
+	}
 	if !throughput {
 		for flagName, set := range map[string]bool{
 			"-workload": c.workload != "",
@@ -221,10 +286,14 @@ func (c *cliConfig) validate() error {
 			"-csv":      c.csv != "",
 		} {
 			if set {
-				if flagName == "-csv" {
-					return fmt.Errorf("-csv applies to throughput and coding-schemes studies only")
+				switch flagName {
+				case "-csv":
+					return fmt.Errorf("-csv applies to throughput, service, and coding-schemes studies only")
+				case "-workload", "-conc":
+					return fmt.Errorf("%s applies to throughput studies only (-study throughput)", flagName)
+				default:
+					return fmt.Errorf("%s applies to throughput and service studies only", flagName)
 				}
-				return fmt.Errorf("%s applies to throughput studies only (-study throughput)", flagName)
 			}
 		}
 		return nil
@@ -290,6 +359,55 @@ func parseRates(s string) ([]float64, error) {
 	return out, nil
 }
 
+// serviceOpts assembles command-service study options from validated
+// flags; -1 sentinels keep the study defaults, explicit zeros disable.
+func (c *cliConfig) serviceOpts() (experiment.ServiceOpts, error) {
+	opts := experiment.DefaultServiceOpts()
+	opts.Warmup = c.warmup
+	opts.Trace = c.trace != ""
+	if c.ops > 0 {
+		opts.Ops = c.ops
+	}
+	if c.dist != "" {
+		opts.Dist = c.dist
+	}
+	if c.window > 0 {
+		opts.Window = c.window
+	}
+	if c.rates != "" {
+		rates, err := parseRates(c.rates)
+		if err != nil {
+			return opts, err
+		}
+		opts.Rates = rates
+	}
+	if c.batchWindow >= 0 {
+		opts.BatchWindow = c.batchWindow
+	}
+	if c.batchBits >= 0 {
+		opts.BatchBits = c.batchBits
+	}
+	if c.maxBatch >= 0 {
+		opts.MaxBatch = c.maxBatch
+	}
+	if c.cacheTTL >= 0 {
+		opts.CacheTTL = c.cacheTTL
+	}
+	if c.cacheCap >= 0 {
+		opts.CacheCap = c.cacheCap
+	}
+	if c.queueDepth >= 0 {
+		opts.QueueDepth = c.queueDepth
+	}
+	if c.highWater >= 0 {
+		opts.HighWater = c.highWater
+	}
+	if c.shed != "" {
+		opts.Policy = c.shed
+	}
+	return opts, nil
+}
+
 // throughputOpts assembles the study options from validated flags.
 func (c *cliConfig) throughputOpts() (experiment.ThroughputOpts, error) {
 	opts := experiment.DefaultThroughputOpts()
@@ -334,7 +452,7 @@ func main() {
 func run() (retErr error) {
 	var c cliConfig
 	flag.StringVar(&c.scenario, "scenario", "indoor", "scenario: tight, sparse, indoor, indoor-wifi, refgrid, grid1k, line")
-	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput, coding-schemes")
+	flag.StringVar(&c.study, "study", "control", "study: coding, control, scope, throughput, service, coding-schemes")
 	flag.StringVar(&c.proto, "proto", "tele", "protocol: tele, retele, strict, teleadjust, drip, rpl")
 	flag.StringVar(&c.codec, "codec", "", "tree-coding scheme for TeleAdjusting variants: "+strings.Join(core.CodecNames(), ", "))
 	flag.StringVar(&c.codecs, "codecs", "", "coding-schemes study: comma-separated codecs to compare (default all)")
@@ -362,7 +480,15 @@ func run() (retErr error) {
 	flag.IntVar(&c.ops, "ops", 0, "control operations per throughput load point (default 40)")
 	flag.StringVar(&c.dist, "dist", "", "throughput destinations: uniform (default), hotspot, depth")
 	flag.IntVar(&c.window, "window", 0, "open-loop admission window (default 8)")
-	flag.StringVar(&c.csv, "csv", "", "write the throughput sweep as CSV to this file")
+	flag.StringVar(&c.csv, "csv", "", "write the throughput/service sweep as CSV to this file")
+	flag.DurationVar(&c.batchWindow, "batch-window", -1, "service study: prefix-batching window (0 disables batching; default 500ms)")
+	flag.IntVar(&c.batchBits, "batch-bits", -1, "service study: code-prefix bits commands are batched by (default 3)")
+	flag.IntVar(&c.maxBatch, "max-batch", -1, "service study: flush a batch group early at this many commands (default 16)")
+	flag.DurationVar(&c.cacheTTL, "cache-ttl", -1, "service study: route-freshness cache TTL (0 disables the cache; default 5m)")
+	flag.IntVar(&c.cacheCap, "cache-cap", -1, "service study: route cache capacity (default 256)")
+	flag.IntVar(&c.queueDepth, "queue-depth", -1, "service study: hard admission backlog bound (0 = unbounded; default 128)")
+	flag.IntVar(&c.highWater, "high-water", -1, "service study: soft backlog mark where -shed engages (0 disables; default 6)")
+	flag.StringVar(&c.shed, "shed", "", "service study: over-high-water policy, delay (default) or reject")
 	flag.Parse()
 
 	if err := c.validate(); err != nil {
@@ -547,6 +673,48 @@ func run() (retErr error) {
 				return err
 			}
 			fmt.Printf("\n%d telemetry events written to %s\n", len(res.Events), c.trace)
+		}
+	case "service":
+		p, err := pickProto(c.proto)
+		if err != nil {
+			return err
+		}
+		opts, err := c.serviceOpts()
+		if err != nil {
+			return err
+		}
+		var res *experiment.ServiceResult
+		if c.reps == 1 {
+			res, err = experiment.RunServiceStudy(scn, p, opts)
+		} else {
+			res, err = rep.ServiceStudy(build, p, opts, seeds)
+		}
+		if err != nil {
+			return err
+		}
+		experiment.WriteServiceReport(os.Stdout, res)
+		if c.csv != "" {
+			f, err := os.Create(c.csv)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteServiceCSV(f, res); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("\nservice sweep written to %s\n", c.csv)
+		}
+		if c.trace != "" {
+			// The service sub-runs' events (including the svc.batch
+			// membership spans); a transparent study exports the baseline,
+			// byte-identical to the open-loop throughput trace.
+			if err := writeTrace(c.trace, res.EventsSvc); err != nil {
+				return err
+			}
+			fmt.Printf("\n%d telemetry events written to %s\n", len(res.EventsSvc), c.trace)
 		}
 	case "scope":
 		if c.reps > 1 {

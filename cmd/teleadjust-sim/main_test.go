@@ -9,17 +9,24 @@ import (
 // baseConfig mirrors the flag defaults.
 func baseConfig() cliConfig {
 	return cliConfig{
-		scenario: "indoor",
-		study:    "control",
-		proto:    "tele",
-		dur:      8 * time.Minute,
-		warmup:   4 * time.Minute,
-		packets:  40,
-		interval: 15 * time.Second,
-		seed:     1,
-		reps:     1,
-		traceOp:  -1,
-		joins:    -1,
+		scenario:    "indoor",
+		study:       "control",
+		proto:       "tele",
+		dur:         8 * time.Minute,
+		warmup:      4 * time.Minute,
+		packets:     40,
+		interval:    15 * time.Second,
+		seed:        1,
+		reps:        1,
+		traceOp:     -1,
+		joins:       -1,
+		batchWindow: -1,
+		batchBits:   -1,
+		maxBatch:    -1,
+		cacheTTL:    -1,
+		cacheCap:    -1,
+		queueDepth:  -1,
+		highWater:   -1,
 	}
 }
 
@@ -78,6 +85,29 @@ func TestValidateRejections(t *testing.T) {
 		{"joins below unset sentinel", func(c *cliConfig) { c.study = "coding-schemes"; c.joins = -2 }, "-joins"},
 		{"unknown codec in codecs list", func(c *cliConfig) { c.study = "coding-schemes"; c.codecs = "paper,morse" }, "codec"},
 		{"svg with coding-schemes", func(c *cliConfig) { c.study = "coding-schemes"; c.svg = "out.svg" }, "-svg"},
+		{"batch-window outside service", func(c *cliConfig) { c.batchWindow = time.Second }, "-batch-window"},
+		{"batch-window zero outside service", func(c *cliConfig) { c.batchWindow = 0 }, "-batch-window"},
+		{"batch-bits outside service", func(c *cliConfig) { c.batchBits = 6 }, "-batch-bits"},
+		{"max-batch outside service", func(c *cliConfig) { c.maxBatch = 8 }, "-max-batch"},
+		{"cache-ttl outside service", func(c *cliConfig) { c.cacheTTL = time.Minute }, "-cache-ttl"},
+		{"cache-cap outside service", func(c *cliConfig) { c.cacheCap = 64 }, "-cache-cap"},
+		{"queue-depth outside service", func(c *cliConfig) { c.queueDepth = 32 }, "-queue-depth"},
+		{"high-water outside service", func(c *cliConfig) { c.highWater = 16 }, "-high-water"},
+		{"shed outside service", func(c *cliConfig) { c.shed = "delay" }, "-shed"},
+		{"service flag on throughput", func(c *cliConfig) { c.study = "throughput"; c.cacheTTL = time.Minute }, "-cache-ttl"},
+		{"workload with service", func(c *cliConfig) { c.study = "service"; c.workload = "open" }, "-workload"},
+		{"conc with service", func(c *cliConfig) { c.study = "service"; c.conc = "1,2" }, "-conc"},
+		{"unknown shed policy", func(c *cliConfig) { c.study = "service"; c.shed = "drop" }, "-shed"},
+		{"max-batch below two", func(c *cliConfig) { c.study = "service"; c.maxBatch = 1 }, "-max-batch"},
+		{"max-batch above wire bound", func(c *cliConfig) { c.study = "service"; c.maxBatch = 300 }, "-max-batch"},
+		{"batch-bits above key width", func(c *cliConfig) { c.study = "service"; c.batchBits = 64 }, "-batch-bits"},
+		{"high-water above queue-depth", func(c *cliConfig) {
+			c.study = "service"
+			c.queueDepth = 16
+			c.highWater = 32
+		}, "-high-water"},
+		{"service ops negative", func(c *cliConfig) { c.study = "service"; c.ops = -1 }, "-ops"},
+		{"service window negative", func(c *cliConfig) { c.study = "service"; c.window = -1 }, "-window"},
 	}
 	for _, tc := range cases {
 		c := baseConfig()
@@ -233,5 +263,106 @@ func TestThroughputOptsFromFlags(t *testing.T) {
 	}
 	if opts.Mode != "closed" || len(opts.Concurrency) != 4 || opts.Ops != 40 {
 		t.Fatalf("default opts = %+v", opts)
+	}
+}
+
+func TestValidateAcceptsServiceCombos(t *testing.T) {
+	full := baseConfig()
+	full.study = "service"
+	full.rates = "0.5,2.0"
+	full.ops = 120
+	full.dist = "hotspot"
+	full.window = 16
+	full.csv = "svc.csv"
+	full.trace = "svc.jsonl"
+	full.batchWindow = 2 * time.Second
+	full.batchBits = 6
+	full.maxBatch = 8
+	full.cacheTTL = 5 * time.Minute
+	full.cacheCap = 256
+	full.queueDepth = 64
+	full.highWater = 48
+	full.shed = "delay"
+	if err := full.validate(); err != nil {
+		t.Fatalf("full service combo rejected: %v", err)
+	}
+	// Explicit zeros disable features without tripping validation: this is
+	// the transparent configuration whose trace replays the open-loop
+	// throughput study.
+	transparent := baseConfig()
+	transparent.study = "service"
+	transparent.batchWindow = 0
+	transparent.cacheTTL = 0
+	transparent.queueDepth = 0
+	transparent.highWater = 0
+	if err := transparent.validate(); err != nil {
+		t.Fatalf("transparent service combo rejected: %v", err)
+	}
+	bare := baseConfig()
+	bare.study = "service"
+	if err := bare.validate(); err != nil {
+		t.Fatalf("bare service study rejected: %v", err)
+	}
+}
+
+func TestServiceOptsFromFlags(t *testing.T) {
+	c := baseConfig()
+	c.study = "service"
+	c.rates = "0.25,1.5"
+	c.ops = 60
+	c.dist = "uniform"
+	c.window = 24
+	c.warmup = 3 * time.Minute
+	c.batchWindow = 4 * time.Second
+	c.batchBits = 8
+	c.maxBatch = 12
+	c.cacheTTL = time.Minute
+	c.cacheCap = 32
+	c.queueDepth = 20
+	c.highWater = 10
+	c.shed = "delay"
+	opts, err := c.serviceOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts.Rates) != 2 || opts.Rates[1] != 1.5 || opts.Ops != 60 ||
+		opts.Dist != "uniform" || opts.Window != 24 || opts.Warmup != 3*time.Minute {
+		t.Fatalf("opts = %+v", opts)
+	}
+	if opts.BatchWindow != 4*time.Second || opts.BatchBits != 8 || opts.MaxBatch != 12 {
+		t.Fatalf("batch knobs = %+v", opts)
+	}
+	if opts.CacheTTL != time.Minute || opts.CacheCap != 32 {
+		t.Fatalf("cache knobs = %+v", opts)
+	}
+	if opts.QueueDepth != 20 || opts.HighWater != 10 || opts.Policy != "delay" {
+		t.Fatalf("backpressure knobs = %+v", opts)
+	}
+	if opts.Transparent() {
+		t.Fatal("fully configured service reported transparent")
+	}
+	// Defaults survive when the knobs are left unset; explicit zeros
+	// disable every feature and make the study transparent.
+	d := baseConfig()
+	d.study = "service"
+	opts, err = d.serviceOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.BatchWindow != 500*time.Millisecond || opts.MaxBatch != 16 || opts.Policy != "delay" {
+		t.Fatalf("default opts = %+v", opts)
+	}
+	z := baseConfig()
+	z.study = "service"
+	z.batchWindow = 0
+	z.cacheTTL = 0
+	z.queueDepth = 0
+	z.highWater = 0
+	opts, err = z.serviceOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Transparent() {
+		t.Fatalf("zeroed service opts not transparent: %+v", opts)
 	}
 }

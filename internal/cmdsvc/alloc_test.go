@@ -1,0 +1,105 @@
+package cmdsvc
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/protocol"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/sim"
+)
+
+// nullBatchDispatcher resolves nothing and allocates nothing after its
+// uid buffer warms, so it isolates the batcher's own allocation behavior.
+type nullBatchDispatcher struct {
+	uidSeq uint32
+	uids   []uint32
+}
+
+func (d *nullBatchDispatcher) SendControl(dst radio.NodeID, app any, cb func(protocol.Result)) (uint32, error) {
+	d.uidSeq++
+	return d.uidSeq, nil
+}
+
+func (d *nullBatchDispatcher) SendControlBatch(reqs []core.BatchRequest) ([]uint32, error) {
+	if cap(d.uids) < len(reqs) {
+		d.uids = make([]uint32, len(reqs))
+	}
+	d.uids = d.uids[:len(reqs)]
+	for i := range d.uids {
+		d.uidSeq++
+		d.uids[i] = d.uidSeq
+	}
+	return d.uids, nil
+}
+
+// TestBatcherSteadyStateAllocFree is the alloc contract for the command
+// service's hot path: in steady state — group pool, request buffer, order
+// list, and engine event pool all warm; telemetry off; cache off — one
+// submit→batch→dispatch cycle (MaxBatch submits coalescing into one
+// carrier flush) must not allocate. The scheduler above and the protocol
+// below have their own budgets; this pins the layer this package adds.
+func TestBatcherSteadyStateAllocFree(t *testing.T) {
+	eng := sim.NewEngine()
+	d := &nullBatchDispatcher{}
+	const maxBatch = 8
+	b := NewBatcher(eng, d, BatcherConfig{Window: time.Second, Bits: 3, MaxBatch: maxBatch})
+	dsts := make([]radio.NodeID, maxBatch)
+	codes := make(map[radio.NodeID]core.PathCode, maxBatch)
+	base := core.RootCode()
+	for i := range dsts {
+		dsts[i] = radio.NodeID(2 + i)
+		c, err := base.Extend(1, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err = c.Extend(uint16(i), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes[dsts[i]] = c
+	}
+	b.SetCoder(func(dst radio.NodeID) (core.PathCode, bool) {
+		c, ok := codes[dst]
+		return c, ok
+	})
+	var app any = "cmd" // pre-converted: the interface boxing is not under test
+	cb := func(protocol.Result) {}
+	cycle := func() {
+		for _, dst := range dsts {
+			if _, err := b.SendControl(dst, app, cb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Warm the group pool, request buffer, and event free list.
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	if got := b.Stats().Batches; got != 8 {
+		t.Fatalf("warmup flushed %d batches, want 8", got)
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state batch cycle allocates %v, want 0", allocs)
+	}
+	// The window-expiry flush path (timer fires instead of MaxBatch) must
+	// hold the same contract.
+	short := dsts[:maxBatch-1]
+	windowCycle := func() {
+		for _, dst := range short {
+			if _, err := b.SendControl(dst, app, cb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := eng.Run(eng.Now() + 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		windowCycle()
+	}
+	if allocs := testing.AllocsPerRun(200, windowCycle); allocs != 0 {
+		t.Fatalf("window-expiry batch cycle allocates %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,235 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"teleadjust/internal/core"
+	"teleadjust/internal/radio"
+	"teleadjust/internal/topology"
+)
+
+// batchTo drives one SendControlBatch through a converged network and
+// returns the per-destination results plus the returned UID slice.
+func batchTo(t *testing.T, net interface {
+	SinkTele() *core.Engine
+	Run(time.Duration) error
+}, dsts []radio.NodeID) (map[radio.NodeID]core.Result, []uint32) {
+	t.Helper()
+	reqs := make([]core.BatchRequest, len(dsts))
+	results := make(map[radio.NodeID]core.Result, len(dsts))
+	for i, d := range dsts {
+		d := d
+		reqs[i] = core.BatchRequest{
+			Dst:     d,
+			App:     "batched-cmd",
+			Payload: []byte{1, 2, 3},
+			Cb:      func(r core.Result) { results[d] = r },
+		}
+	}
+	uids, err := net.SinkTele().SendControlBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return results, uids
+}
+
+// TestSendControlBatchDeliversLine: members nested along one line branch
+// share their whole path; the carrier splits at the shallowest member and
+// every member still acks end to end.
+func TestSendControlBatchDeliversLine(t *testing.T) {
+	net := buildTele(t, topology.Line(6, 7), 11, nil)
+	run(t, net, 4*time.Minute)
+	dsts := []radio.NodeID{2, 3, 4, 5}
+	delivered := map[radio.NodeID]int{}
+	for _, d := range dsts {
+		d := d
+		net.Tele(d).SetDeliveredFn(func(op uint32, hops uint8) { delivered[d]++ })
+	}
+	before := net.SinkTele().Stats().ControlSends
+	results, uids := batchTo(t, net, dsts)
+	batchedSends := net.SinkTele().Stats().ControlSends - before
+
+	if len(results) != len(dsts) {
+		t.Fatalf("%d results, want %d", len(results), len(dsts))
+	}
+	for _, d := range dsts {
+		r, ok := results[d]
+		if !ok || !r.OK {
+			t.Fatalf("member %d not acked: %+v", d, r)
+		}
+		if delivered[d] != 1 {
+			t.Fatalf("member %d consumed %d times, want 1", d, delivered[d])
+		}
+	}
+	seen := map[uint32]bool{}
+	for i, uid := range uids {
+		if uid == 0 {
+			t.Fatalf("member %d got uid 0", i)
+		}
+		if seen[uid] {
+			t.Fatalf("duplicate member uid %d", uid)
+		}
+		seen[uid] = true
+	}
+	// The shared leg must actually be shared: the sink sends one carrier,
+	// not one packet per member.
+	if batchedSends >= uint64(len(dsts)) {
+		t.Fatalf("sink issued %d control sends for a %d-member nested batch, want fewer",
+			batchedSends, len(dsts))
+	}
+}
+
+// TestSendControlBatchSavesTransmissions compares network-wide control
+// transmissions for the same destination set sent individually vs batched.
+func TestSendControlBatchSavesTransmissions(t *testing.T) {
+	dsts := []radio.NodeID{3, 4, 5}
+	total := func(batched bool) uint64 {
+		net := buildTele(t, topology.Line(6, 7), 21, nil)
+		run(t, net, 4*time.Minute)
+		var before uint64
+		for id := range net.Stacks {
+			before += net.Tele(radio.NodeID(id)).Stats().ControlSends
+		}
+		if batched {
+			batchTo(t, net, dsts)
+		} else {
+			for _, d := range dsts {
+				if _, err := net.SinkTele().SendControl(d, "cmd", nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run(t, net, 2*time.Minute)
+		}
+		var after uint64
+		for id := range net.Stacks {
+			after += net.Tele(radio.NodeID(id)).Stats().ControlSends
+		}
+		return after - before
+	}
+	individual := total(false)
+	batched := total(true)
+	if batched >= individual {
+		t.Fatalf("batched sends %d >= individual sends %d: batching saved nothing",
+			batched, individual)
+	}
+}
+
+// TestSendControlBatchUnroutableMember: unknown destinations fail in place
+// with uid 0 while the rest of the batch delivers.
+func TestSendControlBatchUnroutableMember(t *testing.T) {
+	net := buildTele(t, topology.Line(5, 7), 31, nil)
+	run(t, net, 4*time.Minute)
+	results, uids := batchTo(t, net, []radio.NodeID{3, 99, 4})
+	if r := results[99]; r.OK {
+		t.Fatalf("unknown member reported OK: %+v", r)
+	}
+	if uids[1] != 0 {
+		t.Fatalf("unknown member uid = %d, want 0", uids[1])
+	}
+	for _, d := range []radio.NodeID{3, 4} {
+		if r := results[d]; !r.OK {
+			t.Fatalf("member %d not acked: %+v", d, r)
+		}
+	}
+}
+
+// TestSendControlBatchNoSharedPrefix: destinations in disjoint subtrees
+// (grid rows fanning out of the sink) fall back to individual dispatch and
+// still all deliver.
+func TestSendControlBatchNoSharedPrefix(t *testing.T) {
+	dep := topology.Grid("field", 3, 4, 30, 21, false, topology.Point{X: 15, Y: 10}, 7)
+	net := buildTele(t, dep, 41, nil)
+	run(t, net, 5*time.Minute)
+	reg := net.SinkTele().Registry()
+	// Pick a destination pair whose deepest common-prefix holder is the
+	// sink itself: no registered code may prefix their common prefix.
+	var picked []radio.NodeID
+pairs:
+	for a, ai := range reg {
+		for b, bi := range reg {
+			if a >= b {
+				continue
+			}
+			common := ai.Code.Prefix(ai.Code.CommonPrefixLen(bi.Code))
+			lcaIsSink := true
+			for _, other := range reg {
+				if other.Code.IsPrefixOf(common) {
+					lcaIsSink = false
+					break
+				}
+			}
+			if lcaIsSink {
+				picked = []radio.NodeID{a, b}
+				break pairs
+			}
+		}
+	}
+	if len(picked) < 2 {
+		t.Skip("topology converged without divergent subtrees")
+	}
+	results, _ := batchTo(t, net, picked)
+	for _, d := range picked {
+		if r := results[d]; !r.OK {
+			t.Fatalf("member %d not acked: %+v", d, r)
+		}
+	}
+}
+
+// TestSendControlBatchValidation: entry-point errors.
+func TestSendControlBatchValidation(t *testing.T) {
+	net := buildTele(t, topology.Line(3, 7), 51, nil)
+	run(t, net, 3*time.Minute)
+	if _, err := net.SinkTele().SendControlBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := net.Tele(1).SendControlBatch([]core.BatchRequest{{Dst: 2}}); err == nil {
+		t.Fatal("non-sink batch accepted")
+	}
+	big := make([]core.BatchRequest, core.MaxBatchMembers+1)
+	for i := range big {
+		big[i].Dst = radio.NodeID(i + 1)
+	}
+	if _, err := net.SinkTele().SendControlBatch(big); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+// TestNoRescueSuppressesDetour: an operation sent with NoRescue to a dead
+// destination must fail without a rescue attempt.
+func TestNoRescueSuppressesDetour(t *testing.T) {
+	net := buildTele(t, topology.Grid("field", 3, 3, 21, 21, false, topology.Point{}, 5), 61, nil)
+	run(t, net, 4*time.Minute)
+	reg := net.SinkTele().Registry()
+	var victim radio.NodeID
+	var deepest int
+	for id, info := range reg {
+		if info.Code.Len() > deepest {
+			deepest = info.Code.Len()
+			victim = id
+		}
+	}
+	if victim == 0 {
+		t.Skip("no registered destination")
+	}
+	net.KillNode(victim)
+	before := net.SinkTele().Stats().Rescues
+	var got *core.Result
+	if _, err := net.SinkTele().SendControlWith(victim, "cmd", core.SendOpts{NoRescue: true},
+		func(r core.Result) { got = &r }); err != nil {
+		t.Fatal(err)
+	}
+	run(t, net, 2*time.Minute)
+	if got == nil {
+		t.Fatal("operation never resolved")
+	}
+	if got.OK {
+		t.Fatalf("control to dead node reported OK: %+v", got)
+	}
+	if after := net.SinkTele().Stats().Rescues; after != before {
+		t.Fatalf("NoRescue operation still attempted %d rescue(s)", after-before)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"teleadjust/internal/radio"
+)
+
+func randomBatch(seed uint64, n int) []BatchMember {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]BatchMember, n)
+	for i := range out {
+		out[i] = BatchMember{
+			UID:    uint32(seed) + uint32(i),
+			Op:     uint32(seed) + uint32(i),
+			Dst:    radio.NodeID(5 + i),
+			Suffix: randomCode(seed + uint64(i)).Suffix(1),
+		}
+		if i%2 == 0 {
+			out[i].Payload = []byte{byte(i), byte(i + 1), byte(seed)}
+		}
+	}
+	return out
+}
+
+func TestBatchControlWireRoundTrip(t *testing.T) {
+	f := func(seed uint64, uid uint32, dst uint16, hops uint8, nn uint8) bool {
+		c := &Control{
+			UID:     uid,
+			Op:      uid,
+			Dst:     radio.NodeID(dst),
+			DstCode: randomCode(seed),
+			Hops:    hops,
+			Batch:   randomBatch(seed, int(nn%7)+1),
+		}
+		got, err := UnmarshalControl(MarshalControl(c))
+		if err != nil {
+			return false
+		}
+		if got.UID != c.UID || got.Dst != c.Dst || !got.DstCode.Equal(c.DstCode) ||
+			got.Hops != c.Hops || len(got.Batch) != len(c.Batch) {
+			return false
+		}
+		for i := range c.Batch {
+			g, w := got.Batch[i], c.Batch[i]
+			if g.UID != w.UID || g.Op != w.Op || g.Dst != w.Dst ||
+				!g.Suffix.Equal(w.Suffix) || !bytes.Equal(g.Payload, w.Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnbatchedControlBytesUnchanged pins the pre-batching encoding: a
+// control packet without members must not set the batch flag or grow by a
+// single byte, so existing traces stay byte-identical.
+func TestUnbatchedControlBytesUnchanged(t *testing.T) {
+	c := &Control{
+		UID:         7,
+		Op:          7,
+		Dst:         3,
+		DstCode:     MustCode("00101"),
+		Expected:    2,
+		ExpectedLen: 3,
+		Hops:        1,
+	}
+	b := MarshalControl(c)
+	// Layout: uid(4) op(4) dst(2) code(1+1) expected(2) expectedLen(1)
+	// flags(1) finalDst(2) hops(1) — and nothing else.
+	if len(b) != 19 {
+		t.Fatalf("unbatched control encodes to %d bytes, want 19", len(b))
+	}
+	flags := b[15]
+	if flags&ctrlFlagBatch != 0 {
+		t.Fatal("unbatched control sets the batch flag")
+	}
+	// Adding then removing members must restore the exact original bytes.
+	c.Batch = randomBatch(1, 3)
+	if withBatch := MarshalControl(c); len(withBatch) <= len(b) {
+		t.Fatal("batched encoding not larger than unbatched")
+	}
+	c.Batch = nil
+	if !bytes.Equal(MarshalControl(c), b) {
+		t.Fatal("unbatched re-encoding differs")
+	}
+}
+
+func TestBatchControlWireMalformed(t *testing.T) {
+	c := &Control{
+		UID:     1,
+		Op:      1,
+		Dst:     2,
+		DstCode: MustCode("001"),
+		Batch:   randomBatch(9, 3),
+	}
+	b := MarshalControl(c)
+	// Every truncation point must error, never panic or misparse.
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := UnmarshalControl(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// A batch flag with zero members is malformed.
+	zero := make([]byte, len(b))
+	copy(zero, b)
+	zero[15] |= ctrlFlagBatch
+	zero = zero[:19]          // cut away the member section
+	zero = append(zero, 0x00) // member count zero
+	if _, err := UnmarshalControl(zero); err == nil {
+		t.Fatal("zero-member batch accepted")
+	}
+	// A member count pointing past the buffer is truncation, not a crash.
+	over := make([]byte, len(b))
+	copy(over, b)
+	over[19] = 200 // claims 200 members
+	if _, err := UnmarshalControl(over); err == nil {
+		t.Fatal("overlong member count accepted")
+	}
+}
+
+func TestMarshalControlBatchLimits(t *testing.T) {
+	tooMany := &Control{DstCode: MustCode("0"), Batch: make([]BatchMember, MaxBatchMembers+1)}
+	assertPanics(t, func() { MarshalControl(tooMany) }, "member overflow")
+	fat := &Control{DstCode: MustCode("0"), Batch: []BatchMember{{Payload: make([]byte, 0x10000)}}}
+	assertPanics(t, func() { MarshalControl(fat) }, "payload overflow")
+}
+
+func assertPanics(t *testing.T, fn func(), what string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestPathCodeSuffix(t *testing.T) {
+	c := MustCode("0011010")
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{0, "0011010"},
+		{2, "11010"},
+		{6, "0"},
+		{7, "ε"},
+		{100, "ε"},
+		{-1, "0011010"},
+	}
+	for _, tc := range cases {
+		if got := c.Suffix(tc.n).String(); got != tc.want {
+			t.Errorf("Suffix(%d) = %s, want %s", tc.n, got, tc.want)
+		}
+	}
+	// Prefix+Suffix partition the code: Prefix(n)+Suffix(n) == c.
+	f := func(seed uint64, cut uint8) bool {
+		c := randomCode(seed)
+		n := int(cut) % (c.Len() + 1)
+		joined := c.Prefix(n)
+		suf := c.Suffix(n)
+		if suf.IsEmpty() {
+			return joined.Equal(c)
+		}
+		j, err := joined.Append(suf)
+		return err == nil && j.Equal(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

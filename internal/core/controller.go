@@ -22,6 +22,20 @@ var (
 // end-to-end acknowledgement, or on timeout/undeliverability (possibly
 // after the Re-Tele rescue attempt).
 func (e *Engine) SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32, error) {
+	return e.SendControlWith(dst, app, SendOpts{}, cb)
+}
+
+// SendOpts tunes one control dispatch beyond the engine defaults.
+type SendOpts struct {
+	// NoRescue suppresses the Re-Tele rescue detour for this operation:
+	// callers holding fresh route-confirmation state (the command
+	// service's route cache) skip the redundant probe and let the
+	// operation resolve at the first timeout.
+	NoRescue bool
+}
+
+// SendControlWith is SendControl with per-operation options.
+func (e *Engine) SendControlWith(dst radio.NodeID, app any, opts SendOpts, cb func(Result)) (uint32, error) {
 	if !e.isSink {
 		return 0, ErrNotSink
 	}
@@ -33,19 +47,24 @@ func (e *Engine) SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32
 		e.emitOp(telemetry.Event{Kind: telemetry.KindOpUnroutable, Dst: dst})
 		return 0, fmt.Errorf("%w: node %d", ErrUnknownCode, dst)
 	}
+	return e.launchControl(dst, info.Code, app, opts, cb), nil
+}
+
+// launchControl allocates a UID and dispatches one resolved-code control
+// operation: pending state, timeout, forwarding state, first forward.
+// Shared by the single-operation entry points and the batch carrier's
+// per-member bookkeeping.
+func (e *Engine) launchControl(dst radio.NodeID, code PathCode, app any, opts SendOpts, cb func(Result)) uint32 {
 	e.uidSeq++
 	uid := e.uidSeq
 	c := &Control{
 		UID:     uid,
 		Op:      uid,
 		Dst:     dst,
-		DstCode: info.Code,
+		DstCode: code,
 		App:     app,
 	}
-	p := &pendingControl{op: uid, dst: dst, app: app, sentAt: e.eng.Now(), cb: cb}
-	p.timeout = e.eng.Schedule(e.cfg.ControlTimeout, func() { e.pendingTimeout(uid) })
-	e.pending[uid] = p
-
+	e.trackPending(uid, dst, app, opts, cb)
 	st := &ctrlState{
 		ctrl:       c,
 		attempts:   e.cfg.RetryRounds + 1,
@@ -57,7 +76,15 @@ func (e *Engine) SendControl(dst radio.NodeID, app any, cb func(Result)) (uint32
 	e.ctrl[uid] = st
 	e.emitOp(telemetry.Event{Kind: telemetry.KindOpIssue, Op: uid, UID: uid, Dst: dst})
 	e.forwardControl(st)
-	return uid, nil
+	return uid
+}
+
+// trackPending installs the sink-side pending record and timeout for one
+// operation under uid.
+func (e *Engine) trackPending(uid uint32, dst radio.NodeID, app any, opts SendOpts, cb func(Result)) {
+	p := &pendingControl{op: uid, dst: dst, app: app, sentAt: e.eng.Now(), cb: cb, noRescue: opts.NoRescue}
+	p.timeout = e.eng.Schedule(e.cfg.ControlTimeout, func() { e.pendingTimeout(uid) })
+	e.pending[uid] = p
 }
 
 // MultiResult reports the outcome of a one-to-many control operation.
@@ -198,7 +225,7 @@ func (e *Engine) failPending(uid uint32, p *pendingControl) {
 // (Section III-C4): route to a code-divergent neighbor K of the
 // destination with a good link, and have K deliver directly.
 func (e *Engine) tryRescue(uid uint32, p *pendingControl) bool {
-	if !e.cfg.Rescue || p.rescued || e.oracle == nil {
+	if !e.cfg.Rescue || p.rescued || p.noRescue || e.oracle == nil {
 		return false
 	}
 	dstInfo, ok := e.registry[p.dst]

@@ -35,6 +35,9 @@ func progressPrio(adv int) int {
 func (e *Engine) countControlSend(c *Control) {
 	e.stats.ControlSends++
 	e.stats.HeaderBytes += uint64(c.DstCode.SizeBytes())
+	for i := range c.Batch {
+		e.stats.HeaderBytes += uint64(c.Batch[i].Suffix.SizeBytes())
+	}
 }
 
 // myMatch returns the length of this node's code (or still-valid old code)
@@ -165,6 +168,9 @@ func (e *Engine) deliverControl(f *radio.Frame, c *Control) {
 	switch {
 	case c.FinalLeg && f.Dst == me:
 		e.consume(c, f.Src, true)
+	case c.Dst == me && !c.Detour && len(c.Batch) > 0:
+		// Piggyback carrier arrived at its split node: fan the members out.
+		e.deliverBatch(f, c)
 	case c.Dst == me && !c.Detour:
 		e.consume(c, f.Src, false)
 	case c.Dst == me && c.Detour:
@@ -276,6 +282,7 @@ func (e *Engine) forwardControl(st *ctrlState) {
 		FinalDst:    c.FinalDst,
 		Hops:        c.Hops + 1,
 		App:         c.App,
+		Batch:       c.Batch,
 	}
 	st.ctrl = fwd
 	e.countControlSend(fwd)
@@ -498,6 +505,7 @@ func (e *Engine) deliverFeedback(f *radio.Frame, fb *Feedback) {
 		FinalDst:    fb.Ctrl.FinalDst,
 		Hops:        fb.Ctrl.Hops,
 		App:         fb.Ctrl.App,
+		Batch:       fb.Ctrl.Batch,
 	}
 	st.status = ctrlForwarding
 	st.attempts = e.cfg.RetryRounds + 1

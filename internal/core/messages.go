@@ -78,6 +78,33 @@ type Control struct {
 	Hops uint8
 	// App carries the operator's control parameters.
 	App any
+	// Batch, when non-empty, marks a piggyback carrier: the packet routes
+	// to Dst (the deepest shared-prefix node of all members) and splits
+	// there into per-subtree sub-carriers and singles. The carrier's own
+	// UID/Op mirror its first member's; the member list is authoritative.
+	Batch []BatchMember
+}
+
+// BatchMember is one piggybacked command inside a batch control packet
+// (the cross-op batching wire extension). Members sharing a path-code
+// prefix ride one downward packet to the deepest common-prefix node and
+// fan out from there.
+type BatchMember struct {
+	// UID/Op identify the member's own delivery attempt and end-to-end
+	// operation, exactly as for an individual Control.
+	UID uint32
+	Op  uint32
+	Dst radio.NodeID
+	// Suffix is the member's path code relative to the carrier's DstCode
+	// (empty when the member is addressed to the carrier destination
+	// itself); the shared prefix travels once, in the carrier header.
+	Suffix PathCode
+	// Payload is the member's encoded application payload; the wire
+	// format charges its length so batching pays for what it carries.
+	Payload []byte
+	// App is the in-memory application value (out of band, like
+	// Control.App).
+	App any
 }
 
 // TelemetryIDs implements telemetry.OpIdentified: frame-level trace events

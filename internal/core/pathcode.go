@@ -195,6 +195,27 @@ func (c PathCode) Prefix(n int) PathCode {
 	return out
 }
 
+// Suffix returns the bits of c from position n onward as a new code (the
+// counterpart of Prefix). Suffix(0) is c itself; n >= Len yields the
+// empty code. Batch carriers ship member codes as suffixes relative to
+// the carrier destination's code, so the shared prefix rides the wire
+// once.
+func (c PathCode) Suffix(n int) PathCode {
+	if n <= 0 {
+		return c
+	}
+	if n >= c.n {
+		return PathCode{}
+	}
+	out := PathCode{bits: make([]byte, (c.n-n+7)/8), n: c.n - n}
+	for i := 0; i < out.n; i++ {
+		if c.Bit(n+i) == 1 {
+			out.bits[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}
+
 // SizeBytes returns the wire size of the code (length byte + bit payload).
 func (c PathCode) SizeBytes() int { return 1 + (c.n+7)/8 }
 

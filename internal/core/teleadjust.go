@@ -186,6 +186,11 @@ type Engine struct {
 	scopeSeen     map[uint32]time.Duration
 	pendingScopes map[uint32]*pendingScope
 
+	// Batch-carrier split state: carrier UIDs already split at this node.
+	// Kept separate from ctrl because the first member's onward forwarding
+	// reuses the carrier UID and needs its own ctrlState here.
+	batchSeen map[uint32]time.Duration
+
 	// Sink-side controller state.
 	registry  map[radio.NodeID]CodeInfo
 	pending   map[uint32]*pendingControl
@@ -234,6 +239,7 @@ type pendingControl struct {
 	timeout  sim.EventRef
 	detoured bool
 	rescued  bool
+	noRescue bool
 }
 
 // Result reports the outcome of a control operation at the sink.
@@ -267,6 +273,7 @@ func New(n *node.Node, c *ctp.CTP, cfg Config, rng *rand.Rand) *Engine {
 		neighborCodes:   make(map[radio.NodeID]*neighborCode),
 		unreachable:     make(map[radio.NodeID]bool),
 		ctrl:            make(map[uint32]*ctrlState),
+		batchSeen:       make(map[uint32]time.Duration),
 	}
 	if !e.codecPositional {
 		e.grandkids = make(map[radio.NodeID]radio.NodeID)

@@ -17,6 +17,12 @@ package core
 // fixed-width format.
 //	Control     := uid:u32 op:u32 dst:u16 code:PathCode expected:u16
 //	               expectedLen:u8 flags:u8 finalDst:u16 hops:u8
+//	               [n:u8 n × (uid:u32 op:u32 dst:u16 suffix:PathCode
+//	               payloadLen:u16 payload:[payloadLen]u8)]
+//
+// The batch member section is present only when the batch flag is set
+// (cross-op piggyback carriers); unbatched control packets keep their
+// original byte-identical encoding.
 //	Feedback    := uid:u32 failedRelay:u16 ctrl:Control
 //	CodeReport  := code:PathCode depth:u8
 //	E2EAck      := uid:u32 from:u16 hops:u8
@@ -75,7 +81,15 @@ const (
 
 	ctrlFlagDetour   = 1 << 0
 	ctrlFlagFinalLeg = 1 << 1
+	// ctrlFlagBatch marks a piggyback carrier: a batch member section
+	// follows the fixed control tail. Unbatched packets never set it, so
+	// their encodings are byte-identical to the pre-batching format.
+	ctrlFlagBatch = 1 << 2
 )
+
+// MaxBatchMembers bounds the member count of one batch carrier (the wire
+// count field is one byte).
+const MaxBatchMembers = 255
 
 // MarshalExt encodes the beacon extension.
 func MarshalExt(e *TeleExt) []byte {
@@ -186,9 +200,30 @@ func MarshalControl(c *Control) []byte {
 	if c.FinalLeg {
 		flags |= ctrlFlagFinalLeg
 	}
+	if len(c.Batch) > 0 {
+		flags |= ctrlFlagBatch
+	}
 	b = append(b, flags)
 	b = binary.LittleEndian.AppendUint16(b, uint16(c.FinalDst))
 	b = append(b, c.Hops)
+	if len(c.Batch) > 0 {
+		if len(c.Batch) > MaxBatchMembers {
+			panic("core: too many batch members for wire format")
+		}
+		b = append(b, byte(len(c.Batch)))
+		for i := range c.Batch {
+			m := &c.Batch[i]
+			b = binary.LittleEndian.AppendUint32(b, m.UID)
+			b = binary.LittleEndian.AppendUint32(b, m.Op)
+			b = binary.LittleEndian.AppendUint16(b, uint16(m.Dst))
+			b = AppendCode(b, m.Suffix)
+			if len(m.Payload) > 0xFFFF {
+				panic("core: batch member payload exceeds wire format")
+			}
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Payload)))
+			b = append(b, m.Payload...)
+		}
+	}
 	return b
 }
 
@@ -215,8 +250,50 @@ func UnmarshalControl(b []byte) (*Control, error) {
 	c.ExpectedLen = b[2]
 	c.Detour = b[3]&ctrlFlagDetour != 0
 	c.FinalLeg = b[3]&ctrlFlagFinalLeg != 0
+	batched := b[3]&ctrlFlagBatch != 0
 	c.FinalDst = radio.NodeID(binary.LittleEndian.Uint16(b[4:]))
 	c.Hops = b[6]
+	b = b[7:]
+	if batched {
+		if len(b) < 1 {
+			return nil, ErrTruncated
+		}
+		n := int(b[0])
+		b = b[1:]
+		if n == 0 {
+			return nil, fmt.Errorf("core: batch carrier with no members")
+		}
+		c.Batch = make([]BatchMember, 0, n)
+		for i := 0; i < n; i++ {
+			if len(b) < 10 {
+				return nil, ErrTruncated
+			}
+			m := BatchMember{
+				UID: binary.LittleEndian.Uint32(b),
+				Op:  binary.LittleEndian.Uint32(b[4:]),
+				Dst: radio.NodeID(binary.LittleEndian.Uint16(b[8:])),
+			}
+			var err error
+			m.Suffix, b, err = DecodeCode(b[10:])
+			if err != nil {
+				return nil, err
+			}
+			if len(b) < 2 {
+				return nil, ErrTruncated
+			}
+			plen := int(binary.LittleEndian.Uint16(b))
+			b = b[2:]
+			if len(b) < plen {
+				return nil, ErrTruncated
+			}
+			if plen > 0 {
+				m.Payload = make([]byte, plen)
+				copy(m.Payload, b[:plen])
+			}
+			b = b[plen:]
+			c.Batch = append(c.Batch, m)
+		}
+	}
 	return c, nil
 }
 

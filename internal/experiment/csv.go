@@ -127,6 +127,46 @@ func WriteThroughputCSV(w io.Writer, res *ThroughputResult) error {
 	return nil
 }
 
+// WriteServiceCSV exports a command-service study, one row per rate
+// point with paired baseline/service columns.
+func WriteServiceCSV(w io.Writer, res *ServiceResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"protocol", "scenario", "dist", "point", "ops",
+		"offered_base_ops_s", "offered_svc_ops_s",
+		"goodput_base_ops_s", "goodput_svc_ops_s", "speedup",
+		"ok_base", "ok_svc", "failed_base", "failed_svc",
+		"unresolved_base", "unresolved_svc",
+		"shed", "delayed", "batches", "batched_cmds", "mean_batch",
+		"cache_hits", "cache_misses", "cache_hit_rate",
+		"lat_base_p50_s", "lat_svc_p50_s", "lat_base_p95_s", "lat_svc_p95_s"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, pt := range res.Points {
+		rec := []string{res.Proto, res.Scenario, res.Dist, pt.Label,
+			strconv.Itoa(pt.Ops),
+			f(pt.OfferedBase), f(pt.Offered),
+			f(pt.GoodputBase), f(pt.GoodputSvc), f(pt.Speedup()),
+			strconv.Itoa(pt.OKBase), strconv.Itoa(pt.OKSvc),
+			strconv.Itoa(pt.FailedBase), strconv.Itoa(pt.FailedSvc),
+			strconv.Itoa(pt.UnresolvedBase), strconv.Itoa(pt.UnresolvedSvc),
+			strconv.Itoa(pt.Shed), strconv.Itoa(pt.Delayed),
+			strconv.Itoa(pt.Batches), strconv.Itoa(pt.BatchedCmds), f(pt.MeanBatch()),
+			strconv.Itoa(pt.CacheHits), strconv.Itoa(pt.CacheMisses), f(pt.CacheHitRate()),
+			f(pt.LatencyBase.P50()), f(pt.LatencySvc.P50()),
+			f(pt.LatencyBase.P95()), f(pt.LatencySvc.P95())}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("service csv: %w", err)
+	}
+	return nil
+}
+
 // WriteCodingSchemesCSV exports codec comparisons under one header, one
 // row per (scenario, codec) cell.
 func WriteCodingSchemesCSV(w io.Writer, results ...*CodingSchemesResult) error {

@@ -103,6 +103,29 @@ func WriteThroughputReport(w io.Writer, res *ThroughputResult) {
 	}
 }
 
+// WriteServiceReport renders a command-service study: per rate point the
+// baseline-vs-service goodput comparison, then the service-side detail
+// (admission decisions, batching, cache effectiveness).
+func WriteServiceReport(w io.Writer, res *ServiceResult) {
+	fmt.Fprintf(w, "=== Command service study: %s on %s (open loop, %s destinations) ===\n",
+		res.Proto, res.Scenario, res.Dist)
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %8s %9s %9s\n",
+		"point", "ops", "base", "service", "speedup", "lat-base", "lat-svc")
+	for _, pt := range res.Points {
+		fmt.Fprintf(w, "%-10s %8d %9.3f/s %9.3f/s %7.2fx %8.2fs %8.2fs\n",
+			pt.Label, pt.Ops, pt.GoodputBase, pt.GoodputSvc, pt.Speedup(),
+			pt.LatencyBase.P50(), pt.LatencySvc.P50())
+	}
+	fmt.Fprintln(w, "\nservice detail per point:")
+	fmt.Fprintf(w, "%-10s %6s %6s %6s %8s %9s %9s %8s\n",
+		"point", "ok", "shed", "delay", "batches", "meanbatch", "cache-hit", "pending")
+	for _, pt := range res.Points {
+		fmt.Fprintf(w, "%-10s %6d %6d %6d %8d %9.2f %8.1f%% %8d\n",
+			pt.Label, pt.OKSvc, pt.Shed, pt.Delayed, pt.Batches,
+			pt.MeanBatch(), 100*pt.CacheHitRate(), pt.UnresolvedSvc)
+	}
+}
+
 // WriteScopeReport renders a scoped-dissemination study.
 func WriteScopeReport(w io.Writer, res *ScopeStudyResult) {
 	fmt.Fprintf(w, "=== Scoped dissemination: %s ===\n", res.Scenario)

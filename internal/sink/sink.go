@@ -44,6 +44,16 @@ type Dispatcher interface {
 	SendControl(dst radio.NodeID, app any, cb func(protocol.Result)) (uint32, error)
 }
 
+// RetryAware is an optional Dispatcher capability for dispatchers that
+// treat re-dispatches differently from first attempts. When the
+// dispatcher implements it, every attempt after the first goes through
+// SendControlRetry instead of SendControl (the command service's batcher
+// uses this to send retries as full-rescue singles rather than
+// re-buffering an already-failed operation into a batch carrier).
+type RetryAware interface {
+	SendControlRetry(dst radio.NodeID, app any, cb func(protocol.Result)) (uint32, error)
+}
+
 // Config tunes a Scheduler.
 type Config struct {
 	// Window is the admission window: the maximum number of operations in
@@ -166,6 +176,7 @@ type opState struct {
 type Scheduler struct {
 	eng   *sim.Engine
 	d     Dispatcher
+	retry RetryAware // non-nil iff d implements RetryAware
 	cfg   Config
 	coder func(radio.NodeID) (core.PathCode, bool)
 
@@ -187,13 +198,15 @@ func New(eng *sim.Engine, d Dispatcher, cfg Config) *Scheduler {
 	if eng == nil || d == nil {
 		panic("sink: New requires an engine and a dispatcher")
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		eng:     eng,
 		d:       d,
 		tickets: cfg.TicketBase,
 		cfg:     cfg.withDefaults(),
 		groups:  make(map[string]int),
 	}
+	s.retry, _ = d.(RetryAware)
+	return s
 }
 
 // SetCoder installs the destination → path code resolver used for the
@@ -320,7 +333,14 @@ func (s *Scheduler) dispatch(op *opState) {
 	op.inflight = true
 	s.inflight++
 	s.groups[op.group]++
-	uid, err := s.d.SendControl(op.dst, op.app, func(r protocol.Result) { s.resolve(op, r) })
+	cb := func(r protocol.Result) { s.resolve(op, r) }
+	var uid uint32
+	var err error
+	if s.retry != nil && op.attempts > 1 {
+		uid, err = s.retry.SendControlRetry(op.dst, op.app, cb)
+	} else {
+		uid, err = s.d.SendControl(op.dst, op.app, cb)
+	}
 	s.emit(telemetry.Event{Kind: telemetry.KindSinkAdmit, Seq: op.ticket, Op: uid,
 		Dst: op.dst, Value: (now - op.enqueuedAt).Seconds()})
 	if err != nil {

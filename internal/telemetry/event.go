@@ -135,6 +135,14 @@ const (
 	KindCodeAssigned // node obtained its first path code
 	KindCodeChanged  // node's code churned (re-derived to a different code)
 	KindCodeReported // sink registry learned a node's code (Src = origin)
+
+	// Command-service layer (emitted on LayerSink by internal/cmdsvc; only
+	// present when the service's batching/backpressure features are on, so
+	// pass-through traces stay byte-identical).
+	KindSvcBatch       // batch flushed (Seq = batch id, Value = members, Note = prefix)
+	KindSvcBatchMember // one member of a flushed batch (Seq = batch id, Op = uid)
+	KindSvcShed        // submission shed at the admission gate (Note = tenant)
+	KindSvcDelay       // submission deferred past high water (Note = tenant)
 )
 
 // String names the kind.
@@ -208,6 +216,14 @@ func (k Kind) String() string {
 		return "code.changed"
 	case KindCodeReported:
 		return "code.reported"
+	case KindSvcBatch:
+		return "svc.batch"
+	case KindSvcBatchMember:
+		return "svc.batch-member"
+	case KindSvcShed:
+		return "svc.shed"
+	case KindSvcDelay:
+		return "svc.delay"
 	}
 	return "unknown"
 }
